@@ -1,0 +1,106 @@
+"""Figure 1 — the algebraic plans of the paper's queries A–E.
+
+For each query this module (a) regenerates the plan and asserts its
+operator skeleton is exactly the one the paper draws, (b) writes the
+rendered plan tree to ``results/fig1.txt``, and (c) benchmarks the
+unnested physical execution against the naive nested-loop baseline — the
+experiment the paper's Section 8 proposes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.pretty import plan_signature, pretty_plan
+from repro.core.optimizer import Optimizer, OptimizerOptions
+from repro.core.unnesting import unnest_query
+from repro.data.datagen import ab_database, company_database, university_database
+from repro.oql.translator import parse_and_translate
+
+COMPANY = company_database(num_employees=80, num_departments=10, seed=1998)
+UNIVERSITY = university_database(num_students=60, num_courses=12, seed=1998)
+AB = ab_database(size_a=40, size_b=60, seed=1998)
+
+#: (query id, database, OQL text, the Figure 1 operator skeleton)
+FIGURE1 = [
+    (
+        "fig1A",
+        COMPANY,
+        "select distinct struct( E: e.name, C: c.name ) "
+        "from e in Employees, c in e.children",
+        "reduce(unnest(scan))",
+    ),
+    (
+        "fig1B",
+        COMPANY,
+        "select distinct struct( D: d, E: ( select distinct e "
+        "from e in Employees where e.dno = d.dno ) ) from d in Departments",
+        "reduce(nest(outer-join(scan, scan)))",
+    ),
+    (
+        "fig1C",
+        AB,
+        "for all a in A: exists b in B: a = b",
+        "reduce(nest(outer-join(scan, scan)))",
+    ),
+    (
+        "fig1D",
+        COMPANY,
+        "select distinct struct( E: e, M: count( select distinct c "
+        "from c in e.children where for all d in e.manager.children: "
+        "c.age > d.age ) ) from e in Employees",
+        "reduce(nest(nest(outer-unnest(outer-unnest(scan)))))",
+    ),
+    (
+        "fig1E",
+        UNIVERSITY,
+        "select distinct s from s in Student "
+        'where for all c in ( select c from c in Courses where c.title = "DB" ): '
+        "exists t in Transcript: (t.id = s.id and t.cno = c.cno)",
+        "reduce(nest(nest(outer-join(outer-join(scan, scan), scan))))",
+    ),
+]
+
+
+def _unnested(db, source):
+    return Optimizer(db).compile_oql(source)
+
+
+def _naive(db, source):
+    return Optimizer(db, OptimizerOptions(unnest=False)).compile_oql(source)
+
+
+def test_figure1_report(report_writer, benchmark):
+    """Regenerate every Figure 1 plan and check its skeleton."""
+    lines = []
+    for name, db, source, expected in FIGURE1:
+        term = parse_and_translate(source, db.schema)
+        plan = unnest_query(term)
+        signature = plan_signature(plan)
+        assert signature == expected, f"{name}: got {signature}"
+        lines.append(f"=== {name} ===")
+        lines.append(f"OQL: {source}")
+        lines.append(f"paper skeleton: {expected}")
+        lines.append(pretty_plan(plan))
+        lines.append("")
+    report_writer("fig1_plans", "\n".join(lines))
+    benchmark(lambda: [unnest_query(parse_and_translate(s, d.schema))
+                       for _, d, s, _ in FIGURE1])
+
+
+@pytest.mark.parametrize("name,db,source,expected", FIGURE1, ids=[f[0] for f in FIGURE1])
+@pytest.mark.benchmark(group="figure1-unnested")
+def test_unnested_execution(benchmark, name, db, source, expected):
+    compiled = _unnested(db, source)
+    assert plan_signature(compiled.logical) == expected
+    result = benchmark(compiled.execute, db)
+    assert result is not None
+
+
+@pytest.mark.parametrize("name,db,source,expected", FIGURE1, ids=[f[0] for f in FIGURE1])
+@pytest.mark.benchmark(group="figure1-naive")
+def test_naive_execution(benchmark, name, db, source, expected):
+    compiled = _naive(db, source)
+    reference = _unnested(db, source).execute(db)
+    result = benchmark(compiled.execute, db)
+    assert result == reference

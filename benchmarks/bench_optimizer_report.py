@@ -1,0 +1,149 @@
+"""Section 6 — the optimizer size report.
+
+The paper reports its OPTL optimizer's size phase by phase:
+
+    825 lines of OPTL total, of which
+     30  normalization of comprehensions
+     34  normalization of predicates (DeMorgan)
+     88  query unnesting
+     42  materialization of path expressions into joins
+     48  various algebraic optimizations (incl. join permutation)
+    126  translation into physical plans
+
+This module regenerates the analogous inventory for this reproduction:
+source lines and rewrite-rule counts per phase, written to
+``results/optimizer_report.txt`` and compared side by side with the paper's
+numbers in EXPERIMENTS.md.  The benchmark times the full compile pipeline
+(parse → translate → normalize → unnest → simplify → rewrite → physical).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.core.normalization
+import repro.core.optimizer
+import repro.core.rewrite
+import repro.core.simplification
+import repro.core.unnesting
+import repro.engine.cost
+import repro.engine.planner
+import repro.engine.physical
+from repro.core.optimizer import ALGEBRAIC_RULES, Optimizer
+from repro.data.datagen import university_database
+
+PAPER_LINES = {
+    "normalization of comprehensions": 30,
+    "normalization of predicates": 34,
+    "query unnesting": 88,
+    "path materialization": 42,
+    "algebraic optimizations": 48,
+    "physical plan translation": 126,
+    "total (OPTL)": 825,
+}
+
+
+def _count_lines(module) -> int:
+    path = Path(module.__file__)
+    return sum(
+        1
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def test_optimizer_report(report_writer, benchmark):
+    ours = {
+        "normalization (N1-N9 + predicates + canonical form)": _count_lines(
+            repro.core.normalization
+        ),
+        "query unnesting (C1-C9)": _count_lines(repro.core.unnesting),
+        "simplification (Section 5)": _count_lines(repro.core.simplification),
+        "rewrite engine (OPTGEN analogue)": _count_lines(repro.core.rewrite),
+        "optimizer driver + algebraic rules + join order": _count_lines(
+            repro.core.optimizer
+        ),
+        "physical planning": _count_lines(repro.engine.planner),
+        "physical operators": _count_lines(repro.engine.physical),
+        "cost model": _count_lines(repro.engine.cost),
+    }
+    lines = ["Paper (OPTL lines, Section 6):"]
+    for name, count in PAPER_LINES.items():
+        lines.append(f"  {count:5d}  {name}")
+    lines.append("")
+    lines.append("This reproduction (non-blank non-comment Python lines):")
+    for name, count in ours.items():
+        lines.append(f"  {count:5d}  {name}")
+    lines.append(f"  {sum(ours.values()):5d}  total")
+    from repro.core.normalization import NORMALIZATION_RULES
+
+    lines.append("")
+    lines.append(
+        "declarative rewrite rules per phase (the OPTL-style rule counts): "
+        f"normalization={len(NORMALIZATION_RULES)}, "
+        f"algebraic={len(ALGEBRAIC_RULES)}, "
+        "unnesting=9 (C1-C9), simplification=1 (Section 5)"
+    )
+    lines.append(
+        "note: path materialization is intentionally absent — the object "
+        "store embeds objects by value, so paths are direct navigations "
+        "(see DESIGN.md)."
+    )
+    report_writer("optimizer_report", "\n".join(lines))
+
+    # sanity: every phase the paper lists has a non-trivial counterpart
+    assert all(count > 20 for count in ours.values())
+
+    db = university_database(num_students=20, num_courses=8, seed=1998)
+    optimizer = Optimizer(db)
+    source = (
+        "select distinct s from s in Student "
+        'where for all c in ( select c from c in Courses where c.title = "DB" ): '
+        "exists t in Transcript: (t.id = s.id and t.cno = c.cno)"
+    )
+    benchmark(optimizer.compile_oql, source)
+
+
+def test_rule_firing_inventory(report_writer, benchmark):
+    """Which rules fire on the flagship queries (the optimizer's working
+    set, analogous to the paper's per-phase breakdown)."""
+    from corpus_queries import FLAGSHIP
+
+    counts: dict[str, int] = {}
+    db_cache = {}
+    for name, family, source in FLAGSHIP:
+        db = db_cache.setdefault(family, _database(family))
+        compiled = Optimizer(db).compile_oql(source)
+        for rule in compiled.trace.rules_fired():
+            counts[f"unnesting/{rule}"] = counts.get(f"unnesting/{rule}", 0) + 1
+        for firing in compiled.rule_firings:
+            key = f"{firing.phase}/{firing.rule}"
+            counts[key] = counts.get(key, 0) + 1
+    lines = ["rule firings across the flagship queries:"]
+    for key in sorted(counts):
+        lines.append(f"  {counts[key]:4d}  {key}")
+    report_writer("rule_firings", "\n".join(lines))
+    assert counts.get("unnesting/C2", 0) >= len(FLAGSHIP) - 1
+
+    db = _database("company")
+    benchmark(
+        Optimizer(db).compile_oql,
+        "select distinct e.name from e in Employees where e.age > 30",
+    )
+
+
+def _database(family: str):
+    from repro.data.datagen import (
+        ab_database,
+        company_database,
+        travel_database,
+        university_database,
+    )
+
+    makers = {
+        "company": lambda: company_database(40, 8, seed=1998),
+        "university": lambda: university_database(30, 10, seed=1998),
+        "travel": lambda: travel_database(seed=1998),
+        "ab": lambda: ab_database(20, 30, seed=1998),
+    }
+    return makers[family]()

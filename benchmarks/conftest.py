@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and the experiment-report helper.
+
+Every benchmark module regenerates one paper artifact (a figure's plan
+shape, the Section 6 optimizer report, or the timing experiment Section 8
+calls for).  Reports are written to ``benchmarks/results/`` so the numbers
+cited in EXPERIMENTS.md can be re-derived with one command:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write (and echo) a named experiment report."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        out_path = RESULTS_DIR / f"{name}.txt"
+        out_path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n[written to {out_path}]")
+
+    return write
+
+
+def timed(fn, *args, repeat: int = 3):
+    """Best-of-*repeat* wall time of ``fn(*args)`` in milliseconds."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best * 1000.0

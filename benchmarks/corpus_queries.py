@@ -1,0 +1,41 @@
+"""Flagship queries shared by the benchmark modules (the paper's examples)."""
+
+FLAGSHIP = [
+    (
+        "query_a",
+        "company",
+        "select distinct struct( E: e.name, C: c.name ) "
+        "from e in Employees, c in e.children",
+    ),
+    (
+        "query_b",
+        "company",
+        "select distinct struct( D: d, E: ( select distinct e "
+        "from e in Employees where e.dno = d.dno ) ) from d in Departments",
+    ),
+    (
+        "query_c",
+        "ab",
+        "for all a in A: exists b in B: a = b",
+    ),
+    (
+        "query_d",
+        "company",
+        "select distinct struct( E: e, M: count( select distinct c "
+        "from c in e.children where for all d in e.manager.children: "
+        "c.age > d.age ) ) from e in Employees",
+    ),
+    (
+        "query_e",
+        "university",
+        "select distinct s from s in Student "
+        'where for all c in ( select c from c in Courses where c.title = "DB" ): '
+        "exists t in Transcript: (t.id = s.id and t.cno = c.cno)",
+    ),
+    (
+        "group_avg",
+        "company",
+        "select distinct e.dno, avg(e.salary) as S from Employees e "
+        "where e.age > 30 group by e.dno",
+    ),
+]

@@ -1,0 +1,45 @@
+"""The nested relational algebra (paper Section 3, Figures 5 and 6).
+
+:mod:`repro.algebra.semantics` additionally provides each operator's
+*defining calculus equation* (O1-O7) as an executable comprehension.
+"""
+
+from repro.algebra.evaluator import PlanEvaluator, evaluate_plan
+from repro.algebra.operators import (
+    Eval,
+    Join,
+    Map,
+    Nest,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Reduce,
+    Scan,
+    Seed,
+    Select,
+    Unnest,
+    operators,
+    transform_plan,
+)
+from repro.algebra.pretty import plan_signature, pretty_plan
+
+__all__ = [
+    "Eval",
+    "Join",
+    "Map",
+    "Nest",
+    "Operator",
+    "OuterJoin",
+    "OuterUnnest",
+    "PlanEvaluator",
+    "Reduce",
+    "Scan",
+    "Seed",
+    "Select",
+    "Unnest",
+    "evaluate_plan",
+    "operators",
+    "plan_signature",
+    "pretty_plan",
+    "transform_plan",
+]

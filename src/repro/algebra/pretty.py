@@ -1,0 +1,110 @@
+"""Rendering algebra plans as the paper's operator trees (Figures 1, 2, 8).
+
+``pretty_plan`` produces an indented tree with the paper's operator glyphs:
+
+    reduce[U / ( C=c.name, E=e.name )]
+      unnest[c <- e.children]
+        scan[e <- Employees]
+
+which is the textual form of Figure 1.A.  ``plan_signature`` produces a
+compact one-line skeleton (operator names only) that the figure-reproduction
+tests assert against.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Eval,
+    Join,
+    Map,
+    Nest,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Reduce,
+    Scan,
+    Seed,
+    Select,
+    Unnest,
+)
+from repro.calculus.pretty import pretty
+from repro.calculus.terms import Const
+
+
+def _label(plan: Operator) -> str:
+    if isinstance(plan, Seed):
+        return "seed[{()}]"
+    if isinstance(plan, Scan):
+        return f"scan[{plan.var} <- {plan.extent}]"
+    if isinstance(plan, Select):
+        return f"select[{pretty(plan.pred)}]"
+    if isinstance(plan, Join):
+        return f"join[{pretty(plan.pred)}]"
+    if isinstance(plan, OuterJoin):
+        return f"outer-join[{pretty(plan.pred)}]"
+    if isinstance(plan, Unnest):
+        label = f"unnest[{plan.var} <- {pretty(plan.path)}]"
+        return _with_pred(label, plan.pred)
+    if isinstance(plan, OuterUnnest):
+        label = f"outer-unnest[{plan.var} <- {pretty(plan.path)}]"
+        return _with_pred(label, plan.pred)
+    if isinstance(plan, Reduce):
+        label = f"reduce[{plan.symbol} / {pretty(plan.head)}]"
+        return _with_pred(label, plan.pred)
+    if isinstance(plan, Map):
+        inner = ", ".join(f"{n}={pretty(e)}" for n, e in plan.bindings)
+        return f"map[{inner}]"
+    if isinstance(plan, Eval):
+        return f"eval[{pretty(plan.expr)}]"
+    if isinstance(plan, Nest):
+        group = ",".join(plan.group_by) or "()"
+        nulls = ",".join(plan.null_vars) or "-"
+        label = (
+            f"nest[{plan.symbol} / {plan.out_var}={pretty(plan.head)} "
+            f"group_by({group}) nulls({nulls})]"
+        )
+        return _with_pred(label, plan.pred)
+    raise TypeError(f"unknown operator {type(plan).__name__}")
+
+
+def _with_pred(label: str, pred) -> str:
+    if pred == Const(True):
+        return label
+    return f"{label} where {pretty(pred)}"
+
+
+def pretty_plan(plan: Operator, indent: int = 0) -> str:
+    """Render *plan* as an indented operator tree (root first)."""
+    lines = [("  " * indent) + _label(plan)]
+    for child in plan.children():
+        lines.append(pretty_plan(child, indent + 1))
+    return "\n".join(lines)
+
+
+_SHORT_NAMES = {
+    Eval: "eval",
+    Map: "map",
+    Seed: "seed",
+    Scan: "scan",
+    Select: "select",
+    Join: "join",
+    OuterJoin: "outer-join",
+    Unnest: "unnest",
+    OuterUnnest: "outer-unnest",
+    Reduce: "reduce",
+    Nest: "nest",
+}
+
+
+def plan_signature(plan: Operator) -> str:
+    """A compact skeleton, e.g. ``reduce(nest(outer-join(scan, scan)))``.
+
+    Used by the figure tests: the paper's figures fix the operator skeleton
+    of each plan, and this string is what we compare against.
+    """
+    name = _SHORT_NAMES[type(plan)]
+    children = plan.children()
+    if not children:
+        return name
+    inner = ", ".join(plan_signature(c) for c in children)
+    return f"{name}({inner})"

@@ -1,0 +1,248 @@
+"""The definitional semantics of Figure 5, as executable calculus terms.
+
+The paper defines every algebraic operator *by a monoid-calculus equation*
+(O1–O7), e.g.::
+
+    X ⋈_p Y          =  { (v, w) | v <- X, w <- Y, p(v, w) }          (O1)
+    X =⨝_p Y         =  { (v, w) | v <- X,
+                          w <- if all{ ¬p(v, w') | w' <- Y } then {NULL}
+                               else { w' | w' <- Y, p(v, w') } }      (O5)
+    Γ^{⊕/e/g}_{p/f}(X) = { ( f(v), ⊕{ e(w) | w <- X, g(w) ≠ NULL,
+                            f(w) = f(v), p(w) } ) | v <- X }          (O7)
+
+This module constructs those defining terms for concrete operator
+instances, over *materialized* input streams (each environment reified as a
+record value).  Evaluating the defining term with the reference calculus
+evaluator and comparing against the operator's own evaluator output is the
+executable form of "the semantics of these operations is given in terms of
+the monoid calculus" — the test suite does exactly that for every operator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.calculus.evaluator import Evaluator
+from repro.calculus.terms import (
+    BinOp,
+    Comprehension,
+    Filter,
+    Generator,
+    IsNull,
+    Not,
+    Null,
+    Proj,
+    RecordCons,
+    Singleton,
+    Term,
+    Var,
+    substitute,
+)
+from repro.data.database import Database
+from repro.data.values import Record, SetValue
+
+Env = dict
+
+
+def materialize(envs: Iterable[Env]) -> SetValue:
+    """Reify a stream of environments as a set of records.
+
+    The paper's streams carry (nested pairs of) range-variable bindings;
+    records keyed by variable name are the same data.
+    """
+    return SetValue(Record(dict(env)) for env in envs)
+
+
+def _open_env(columns: tuple[str, ...], tuple_var: str, term: Term) -> Term:
+    """Rewrite free column variables into projections of *tuple_var*.
+
+    Turns an operator parameter (free variables = columns) into a function
+    of one reified stream record, i.e. the paper's λw.e(w).
+    """
+    mapping = {col: Proj(Var(tuple_var), col) for col in columns}
+    return substitute(term, mapping)
+
+
+def _pair(columns_left: tuple[str, ...], left_var: str, right: tuple[str, Term]) -> Term:
+    """Build the output record ``(v, w)``: left columns + one new binding."""
+    fields = [(col, Proj(Var(left_var), col)) for col in columns_left]
+    fields.append(right)
+    return RecordCons(tuple(sorted(fields)))
+
+
+def join_semantics(
+    left_columns: tuple[str, ...],
+    right_var: str,
+    pred: Term,
+) -> Comprehension:
+    """O1: X ⋈_p Y = { (v, w) | v <- X, w <- Y, p(v, w) }.
+
+    The defining term is over two free collection variables ``__X`` and
+    ``__Y`` (bind them via the evaluation environment).
+    """
+    pred_vw = substitute(
+        _open_env(left_columns, "__v", pred), {right_var: Var("__w")}
+    )
+    head = _pair(left_columns, "__v", (right_var, Var("__w")))
+    return Comprehension(
+        "set",
+        head,
+        (
+            Generator("__v", Var("__X")),
+            Generator("__w", Var("__Y")),
+            Filter(pred_vw),
+        ),
+    )
+
+
+def select_semantics(columns: tuple[str, ...], pred: Term) -> Comprehension:
+    """O2: σ_p(X) = { v | v <- X, p(v) }."""
+    return Comprehension(
+        "set",
+        Var("__v"),
+        (
+            Generator("__v", Var("__X")),
+            Filter(_open_env(columns, "__v", pred)),
+        ),
+    )
+
+
+def unnest_semantics(
+    columns: tuple[str, ...], path: Term, var: str, pred: Term
+) -> Comprehension:
+    """O3: μ^path_p(X) = { (v, w) | v <- X, w <- path(v), p(v, w) }."""
+    path_v = _open_env(columns, "__v", path)
+    pred_vw = substitute(_open_env(columns, "__v", pred), {var: Var("__w")})
+    head = _pair(columns, "__v", (var, Var("__w")))
+    return Comprehension(
+        "set",
+        head,
+        (
+            Generator("__v", Var("__X")),
+            Generator("__w", path_v),
+            Filter(pred_vw),
+        ),
+    )
+
+
+def reduce_semantics(
+    columns: tuple[str, ...], monoid_name: str, head: Term, pred: Term
+) -> Comprehension:
+    """O4: Δ^{⊕/e}_p(X) = ⊕{ e(v) | v <- X, p(v) }."""
+    return Comprehension(
+        monoid_name,
+        _open_env(columns, "__v", head),
+        (
+            Generator("__v", Var("__X")),
+            Filter(_open_env(columns, "__v", pred)),
+        ),
+    )
+
+
+def outer_join_semantics(
+    left_columns: tuple[str, ...],
+    right_var: str,
+    pred: Term,
+) -> Comprehension:
+    """O5: the left outer-join.
+
+    ``w`` ranges over {NULL} when no element of Y joins with v, else over
+    the qualifying elements of Y.
+    """
+    from repro.calculus.terms import If
+
+    pred_of = lambda w: substitute(  # noqa: E731 - local shorthand
+        _open_env(left_columns, "__v", pred), {right_var: w}
+    )
+    no_match = Comprehension(
+        "all",
+        Not(pred_of(Var("__w1"))),
+        (Generator("__w1", Var("__Y")),),
+    )
+    qualifying = Comprehension(
+        "set",
+        Var("__w2"),
+        (Generator("__w2", Var("__Y")), Filter(pred_of(Var("__w2")))),
+    )
+    domain = If(no_match, Singleton("set", Null()), qualifying)
+    head = _pair(left_columns, "__v", (right_var, Var("__w")))
+    return Comprehension(
+        "set",
+        head,
+        (Generator("__v", Var("__X")), Generator("__w", domain)),
+    )
+
+
+def outer_unnest_semantics(
+    columns: tuple[str, ...], path: Term, var: str, pred: Term
+) -> Comprehension:
+    """O6: the outer-unnest, by the same {NULL}-domain construction."""
+    from repro.calculus.terms import If
+
+    path_v = _open_env(columns, "__v", path)
+    pred_of = lambda w: substitute(  # noqa: E731 - local shorthand
+        _open_env(columns, "__v", pred), {var: w}
+    )
+    no_match = Comprehension(
+        "all",
+        Not(pred_of(Var("__w1"))),
+        (Generator("__w1", path_v),),
+    )
+    qualifying = Comprehension(
+        "set",
+        Var("__w2"),
+        (Generator("__w2", path_v), Filter(pred_of(Var("__w2")))),
+    )
+    domain = If(no_match, Singleton("set", Null()), qualifying)
+    head = _pair(columns, "__v", (var, Var("__w")))
+    return Comprehension(
+        "set",
+        head,
+        (Generator("__v", Var("__X")), Generator("__w", domain)),
+    )
+
+
+def nest_semantics(
+    columns: tuple[str, ...],
+    monoid_name: str,
+    head: Term,
+    group_by: tuple[str, ...],
+    null_vars: tuple[str, ...],
+    out_var: str,
+    pred: Term,
+) -> Comprehension:
+    """O7: Γ^{⊕/e/g}_{p/f}(X) — group by f, null-test g, reduce with ⊕."""
+    group_eq = [
+        BinOp("==", Proj(Var("__w"), col), Proj(Var("__v"), col))
+        for col in group_by
+    ]
+    not_null = [Not(IsNull(Proj(Var("__w"), col))) for col in null_vars]
+    inner_quals: list = [Generator("__w", Var("__X"))]
+    for cond in not_null + group_eq:
+        inner_quals.append(Filter(cond))
+    inner_quals.append(Filter(_open_env(columns, "__w", pred)))
+    inner = Comprehension(
+        monoid_name,
+        _open_env(columns, "__w", head),
+        tuple(inner_quals),
+    )
+    out_fields = [(col, Proj(Var("__v"), col)) for col in group_by]
+    out_fields.append((out_var, inner))
+    return Comprehension(
+        "set",
+        RecordCons(tuple(sorted(out_fields))),
+        (Generator("__v", Var("__X")),),
+    )
+
+
+def evaluate_definition(
+    term: Comprehension,
+    database: Database,
+    X: SetValue,
+    Y: SetValue | None = None,
+):
+    """Evaluate a defining term with its stream variables bound."""
+    env = {"__X": X}
+    if Y is not None:
+        env["__Y"] = Y
+    return Evaluator(database).evaluate(term, env)

@@ -1,0 +1,145 @@
+"""Typing rules for the nested relational algebra (paper Figure 6).
+
+``infer_plan_type`` checks an algebra plan against a schema: every operator
+must consume the environment its child produces, predicates must be boolean,
+unnest paths must be collections, and the root reduce's type is the monoid's
+carrier (a set of the head type for the set monoid, bool for quantifiers,
+numeric for aggregates) — exactly the judgements of Figure 6.
+
+Environment types are mappings from column names to data-model types; the
+paper's nested-pair types ``set(t1 × t2)`` are these environments keyed by
+name.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Eval,
+    Join,
+    Map,
+    Nest,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Reduce,
+    Scan,
+    Seed,
+    Select,
+    Unnest,
+)
+from repro.calculus.terms import Term
+from repro.calculus.typing import CalculusTypeError, TypeChecker
+from repro.data.schema import (
+    ANY,
+    AnyType,
+    BoolType,
+    CollectionType,
+    Schema,
+    Type,
+)
+
+EnvType = dict[str, Type]
+
+
+class AlgebraTypeError(TypeError):
+    """A plan violates the typing rules of Figure 6."""
+
+
+def infer_plan_type(plan: Operator, schema: Schema | None = None) -> Type:
+    """The result type of a complete plan (rooted at Reduce or Eval)."""
+    checker = PlanTypeChecker(schema)
+    if isinstance(plan, Reduce):
+        env = checker.stream_type(plan.child)
+        checker.check_bool(plan.pred, env, "reduce predicate")
+        return checker.reduction_type(plan.monoid_name, plan.head, env)
+    if isinstance(plan, Eval):
+        env = checker.stream_type(plan.child)
+        return checker.infer(plan.expr, env)
+    raise AlgebraTypeError(
+        f"a complete plan must be rooted at Reduce or Eval, got "
+        f"{type(plan).__name__}"
+    )
+
+
+class PlanTypeChecker:
+    """Infers the environment type of every operator's output stream."""
+
+    def __init__(self, schema: Schema | None = None):
+        self._schema = schema
+        self._terms = TypeChecker(schema)
+
+    # -- term-level helpers ------------------------------------------------------
+
+    def infer(self, term: Term, env: EnvType) -> Type:
+        try:
+            return self._terms.infer(term, dict(env))
+        except CalculusTypeError as exc:
+            raise AlgebraTypeError(str(exc)) from exc
+
+    def check_bool(self, term: Term, env: EnvType, what: str) -> None:
+        inferred = self.infer(term, env)
+        if not isinstance(inferred, (BoolType, AnyType)):
+            raise AlgebraTypeError(f"{what} has type {inferred}, expected bool")
+
+    def reduction_type(self, monoid_name: str, head: Term, env: EnvType) -> Type:
+        from repro.calculus.typing import _PRIMITIVE_MONOID_TYPES
+
+        head_type = self.infer(head, env)
+        if monoid_name in _PRIMITIVE_MONOID_TYPES:
+            return _PRIMITIVE_MONOID_TYPES[monoid_name]
+        return CollectionType(monoid_name, head_type)
+
+    # -- operator rules -------------------------------------------------------------
+
+    def stream_type(self, plan: Operator) -> EnvType:
+        if isinstance(plan, Seed):
+            return {}
+        if isinstance(plan, Scan):
+            return self._scan_type(plan)
+        if isinstance(plan, Select):
+            env = self.stream_type(plan.child)
+            self.check_bool(plan.pred, env, "selection predicate")
+            return env
+        if isinstance(plan, Map):
+            env = dict(self.stream_type(plan.child))
+            for name, expr in plan.bindings:
+                env[name] = self.infer(expr, env)
+            return env
+        if isinstance(plan, (Join, OuterJoin)):
+            left = self.stream_type(plan.left)
+            right = self.stream_type(plan.right)
+            merged = {**left, **right}
+            self.check_bool(plan.pred, merged, "join predicate")
+            return merged
+        if isinstance(plan, (Unnest, OuterUnnest)):
+            env = dict(self.stream_type(plan.child))
+            domain = self.infer(plan.path, env)
+            if isinstance(domain, AnyType):
+                element: Type = ANY
+            elif isinstance(domain, CollectionType):
+                element = domain.element
+            else:
+                raise AlgebraTypeError(
+                    f"unnest path has non-collection type {domain}"
+                )
+            env[plan.var] = element
+            self.check_bool(plan.pred, env, "unnest predicate")
+            return env
+        if isinstance(plan, Nest):
+            env = self.stream_type(plan.child)
+            missing = (set(plan.group_by) | set(plan.null_vars)) - set(env)
+            if missing:
+                raise AlgebraTypeError(
+                    f"nest references unknown columns {sorted(missing)}"
+                )
+            self.check_bool(plan.pred, env, "nest predicate")
+            out: EnvType = {col: env[col] for col in plan.group_by}
+            out[plan.out_var] = self.reduction_type(plan.monoid_name, plan.head, env)
+            return out
+        raise AlgebraTypeError(f"cannot type operator {type(plan).__name__}")
+
+    def _scan_type(self, plan: Scan) -> EnvType:
+        if self._schema is not None and self._schema.has_extent(plan.extent):
+            extent_type = self._schema.extent_type(plan.extent)
+            return {plan.var: extent_type.element}
+        return {plan.var: ANY}

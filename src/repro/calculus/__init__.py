@@ -1,0 +1,60 @@
+"""The monoid comprehension calculus (paper Section 2).
+
+Submodules: :mod:`repro.calculus.monoids` (the monoid algebra),
+:mod:`repro.calculus.terms` (the term language and a construction DSL),
+:mod:`repro.calculus.typing` (Figure 3's typing rules),
+:mod:`repro.calculus.pretty` (the paper's surface notation), and
+:mod:`repro.calculus.evaluator` (the reference nested-loop semantics).
+"""
+
+from repro.calculus.monoids import MONOIDS, Monoid, monoid
+from repro.calculus.terms import (
+    BinOp,
+    Comprehension,
+    Const,
+    Extent,
+    Filter,
+    Generator,
+    Merge,
+    Not,
+    Null,
+    Proj,
+    RecordCons,
+    Singleton,
+    Term,
+    Var,
+    Zero,
+    comprehension,
+    conj,
+    const,
+    path,
+    record,
+    var,
+)
+
+__all__ = [
+    "MONOIDS",
+    "BinOp",
+    "Comprehension",
+    "Const",
+    "Extent",
+    "Filter",
+    "Generator",
+    "Merge",
+    "Monoid",
+    "Not",
+    "Null",
+    "Proj",
+    "RecordCons",
+    "Singleton",
+    "Term",
+    "Var",
+    "Zero",
+    "comprehension",
+    "conj",
+    "const",
+    "monoid",
+    "path",
+    "record",
+    "var",
+]

@@ -1,0 +1,190 @@
+"""Monoids — the algebraic backbone of the comprehension calculus.
+
+Section 2 of the paper: a monoid of type T is a pair (⊕, Z⊕) of an
+associative accumulator ⊕ : T × T → T and a zero element Z⊕ that is a left
+and right identity of ⊕.  Collection monoids (set, bag, list) additionally
+carry a *unit* function that lifts an element into a singleton collection.
+Primitive monoids (sum, prod, max, min, all, some) construct values of a
+primitive type.
+
+The properties *commutative* and *idempotent* drive both the normalization
+algorithm (rule N7/N8 side conditions) and the semantics of comprehensions
+over mixed monoids (rule D7's duplicate guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data.values import BagValue, ListValue, SetValue
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A primitive monoid (⊕, zero) with its algebraic properties.
+
+    ``merge`` must be associative; ``zero`` its two-sided identity.
+
+    ``lift``/``finalize`` support accumulators that are monoids only on an
+    internal carrier: ``avg`` accumulates (sum, count) pairs — ``lift``
+    injects each contribution into the carrier and ``finalize`` maps the
+    merged carrier back to the user-visible value.  For true monoids both
+    are the identity.
+    """
+
+    name: str
+    zero: Any
+    merge: Callable[[Any, Any], Any] = field(compare=False)
+    commutative: bool = True
+    idempotent: bool = False
+    lift: Callable[[Any], Any] = field(compare=False, default=_identity)
+    finalize: Callable[[Any], Any] = field(compare=False, default=_identity)
+
+    @property
+    def is_collection(self) -> bool:
+        return isinstance(self, CollectionMonoid)
+
+    def fold(self, values: Any) -> Any:
+        """Merge an iterable of values, starting from the zero element."""
+        result = self.zero
+        for value in values:
+            result = self.merge(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CollectionMonoid(Monoid):
+    """A collection monoid: additionally knows how to build singletons."""
+
+    unit: Callable[[Any], Any] = field(compare=False, default=None)  # type: ignore[assignment]
+
+    def fold_elements(self, values: Any) -> Any:
+        """Build a collection from an iterable of *elements* (not collections)."""
+        return self.fold(self.unit(v) for v in values)
+
+
+def _set_merge(a: SetValue, b: SetValue) -> SetValue:
+    return a.union(b)
+
+
+def _bag_merge(a: BagValue, b: BagValue) -> BagValue:
+    return a.additive_union(b)
+
+
+def _list_merge(a: ListValue, b: ListValue) -> ListValue:
+    return a.concat(b)
+
+
+SET = CollectionMonoid(
+    name="set",
+    zero=SetValue(),
+    merge=_set_merge,
+    commutative=True,
+    idempotent=True,
+    unit=lambda v: SetValue([v]),
+)
+
+BAG = CollectionMonoid(
+    name="bag",
+    zero=BagValue(),
+    merge=_bag_merge,
+    commutative=True,
+    idempotent=False,
+    unit=lambda v: BagValue([v]),
+)
+
+LIST = CollectionMonoid(
+    name="list",
+    zero=ListValue(),
+    merge=_list_merge,
+    commutative=False,
+    idempotent=False,
+    unit=lambda v: ListValue([v]),
+)
+
+SUM = Monoid(name="sum", zero=0, merge=lambda a, b: a + b)
+PROD = Monoid(name="prod", zero=1, merge=lambda a, b: a * b)
+# The paper uses (max, 0); we use the usual identity-free formulation with a
+# floor of 0 to match the paper's (max, 0) monoid on non-negative numbers.
+MAX = Monoid(name="max", zero=0, merge=lambda a, b: a if a >= b else b, idempotent=True)
+MIN = Monoid(
+    name="min",
+    zero=float("inf"),
+    merge=lambda a, b: a if a <= b else b,
+    idempotent=True,
+)
+ALL = Monoid(name="all", zero=True, merge=lambda a, b: a and b, idempotent=True)
+SOME = Monoid(name="some", zero=False, merge=lambda a, b: a or b, idempotent=True)
+
+
+def _avg_finalize(carrier: tuple[float, int]) -> Any:
+    from repro.data.values import NULL
+
+    total, count = carrier
+    if count == 0:
+        return NULL
+    return total / count
+
+
+# avg is the paper's Section 5 accumulator: a monoid on (sum, count) pairs
+# finalized by division (NULL on an empty input, like SQL's AVG).
+AVG = Monoid(
+    name="avg",
+    zero=(0.0, 0),
+    merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+    lift=lambda v: (v, 1),
+    finalize=_avg_finalize,
+)
+
+#: Every monoid known to the calculus, by name.
+MONOIDS: dict[str, Monoid] = {
+    m.name: m for m in (SET, BAG, LIST, SUM, PROD, MAX, MIN, ALL, SOME, AVG)
+}
+
+#: Pretty accumulator symbols used by the plan printers (paper notation).
+MONOID_SYMBOLS: dict[str, str] = {
+    "set": "U",
+    "bag": "U+",
+    "list": "++",
+    "sum": "+",
+    "prod": "*",
+    "max": "max",
+    "min": "min",
+    "all": "&",
+    "some": "|",
+    "avg": "avg",
+}
+
+
+def monoid(name: str) -> Monoid:
+    """Look up a monoid by name, raising a helpful error when unknown."""
+    try:
+        return MONOIDS[name]
+    except KeyError:
+        known = ", ".join(sorted(MONOIDS))
+        raise KeyError(f"unknown monoid {name!r}; known monoids: {known}") from None
+
+
+def leq(inner: Monoid, outer: Monoid) -> bool:
+    """The monoid well-formedness order ⊑ of the calculus.
+
+    A comprehension ``⊕{ e | ..., v <- X, ... }`` is well formed when the
+    monoid of each generator domain X can be *coerced* into ⊕.  Iterating a
+    commutative collection (set, bag) into a non-commutative monoid (list)
+    has no deterministic meaning, so that combination is rejected.  An
+    idempotent domain feeding a non-idempotent monoid (e.g. summing over a
+    set) *is* allowed: rule D7 of the comprehension semantics inserts an
+    explicit duplicate-elimination guard for exactly this case, avoiding the
+    paper's Section 2 inconsistency example.
+    """
+    if inner.commutative and not outer.commutative:
+        return False
+    return True

@@ -1,0 +1,280 @@
+"""Command-line interface: run OQL against the built-in demo databases.
+
+Usage::
+
+    python -m repro "select distinct e.name from e in Employees"
+    python -m repro --db university --explain "select distinct s from s in Student"
+    python -m repro --trace --plan "for all a in A: exists b in B: a = b" --db ab
+    python -m repro            # interactive shell
+
+The interactive shell accepts OQL queries terminated by a semicolon and the
+meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus`` (toggle
+per-query output), ``\\db <name>`` (switch database), and ``\\quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Callable
+
+from repro.algebra.pretty import pretty_plan
+from repro.calculus.pretty import pretty
+from repro.core.optimizer import Optimizer, OptimizerOptions
+from repro.data.database import Database
+from repro.data.datagen import (
+    ab_database,
+    auction_database,
+    company_database,
+    travel_database,
+    university_database,
+)
+
+DATABASES: dict[str, Callable[[], Database]] = {
+    "company": lambda: company_database(num_employees=60, num_departments=8),
+    "university": lambda: university_database(num_students=40, num_courses=12),
+    "travel": lambda: travel_database(),
+    "ab": lambda: ab_database(size_a=20, size_b=30),
+    "auction": lambda: auction_database(num_users=30, num_items=20),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The command-line argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Run OQL queries through the Fegaras SIGMOD'98 unnesting "
+            "optimizer against an in-memory demo database."
+        ),
+    )
+    parser.add_argument("query", nargs="?", help="OQL query (omit for a REPL)")
+    parser.add_argument(
+        "--db",
+        choices=sorted(DATABASES),
+        default="company",
+        help="demo database (default: company)",
+    )
+    parser.add_argument(
+        "--plan", action="store_true", help="print the unnested algebraic plan"
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="print the physical plan"
+    )
+    parser.add_argument(
+        "--trace", action="store_true", help="print the unnesting rule trace"
+    )
+    parser.add_argument(
+        "--calculus", action="store_true", help="print the calculus translation"
+    )
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="also run the naive nested-loop strategy and compare times",
+    )
+    parser.add_argument(
+        "--no-unnest",
+        action="store_true",
+        help="evaluate by direct calculus interpretation only",
+    )
+    return parser
+
+
+def format_result(result: Any, limit: int = 20) -> str:
+    """Render a query result: record collections become aligned tables."""
+    from repro.data.values import ListValue
+
+    if not hasattr(result, "elements"):
+        return f"  {result!r}"
+    elements = list(result.elements())
+    if not isinstance(result, ListValue):
+        elements.sort(key=repr)
+    count = len(elements)
+    if count == 0:
+        return "  (empty)\n(0 rows)"
+    table = _format_table(elements[:limit])
+    if table is None:
+        table = "\n".join(f"  {element!r}" for element in elements[:limit])
+    suffix = "" if count <= limit else f"\n  ... ({count} rows total)"
+    return f"{table}{suffix}\n({count} rows)"
+
+
+def _format_table(elements: list) -> str | None:
+    """Aligned columns for homogeneous record rows; None when not tabular."""
+    from repro.data.values import Record
+
+    if not elements or not all(isinstance(e, Record) for e in elements):
+        return None
+    attributes = elements[0].attributes()
+    if any(e.attributes() != attributes for e in elements):
+        return None
+    rows = [[_cell(element[attr]) for attr in attributes] for element in elements]
+    widths = [
+        max(len(attr), *(len(row[i]) for row in rows))
+        for i, attr in enumerate(attributes)
+    ]
+    header = "  " + " | ".join(a.ljust(w) for a, w in zip(attributes, widths))
+    rule = "  " + "-+-".join("-" * w for w in widths)
+    body = [
+        "  " + " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def _cell(value: Any, max_width: int = 36) -> str:
+    text = str(value) if isinstance(value, str) else repr(value)
+    if len(text) > max_width:
+        return text[: max_width - 1] + "…"
+    return text
+
+
+def run_query(
+    source: str,
+    db: Database,
+    *,
+    show_plan: bool = False,
+    show_explain: bool = False,
+    show_trace: bool = False,
+    show_calculus: bool = False,
+    compare_naive: bool = False,
+    unnest: bool = True,
+    optimizer: Optimizer | None = None,
+    out=None,
+) -> None:
+    """Compile and run one OQL query, printing the requested artifacts."""
+    out = out if out is not None else sys.stdout
+    if optimizer is None:
+        optimizer = Optimizer(db, OptimizerOptions(unnest=unnest))
+    compiled = optimizer.compile_oql(source)
+    if show_calculus:
+        print("calculus:", pretty(compiled.term), file=out)
+    if show_trace and compiled.trace is not None:
+        print("unnesting trace:", file=out)
+        for entry in compiled.trace.entries:
+            print(f"  ({entry.rule}) {entry.detail}", file=out)
+    if show_plan and compiled.optimized is not None:
+        print("plan:", file=out)
+        print(pretty_plan(compiled.optimized), file=out)
+    if show_explain and compiled.optimized is not None:
+        print("physical plan:", file=out)
+        print(compiled.explain(db), file=out)
+
+    start = time.perf_counter()
+    result = compiled.execute(db)
+    elapsed = (time.perf_counter() - start) * 1000
+    print(format_result(result), file=out)
+    print(f"({elapsed:.2f} ms)", file=out)
+
+    if compare_naive and unnest:
+        naive = Optimizer(db, OptimizerOptions(unnest=False)).compile_oql(source)
+        start = time.perf_counter()
+        naive_result = naive.execute(db)
+        naive_ms = (time.perf_counter() - start) * 1000
+        agree = "results agree" if naive_result == result else "RESULTS DIFFER!"
+        print(
+            f"naive nested-loop: {naive_ms:.2f} ms "
+            f"({naive_ms / max(elapsed, 1e-9):.1f}x slower; {agree})",
+            file=out,
+        )
+
+
+def repl(db_name: str, out=None) -> None:
+    """The interactive OQL shell (see the module docstring for commands)."""
+    out = out if out is not None else sys.stdout
+    db = DATABASES[db_name]()
+    optimizer = Optimizer(db)
+    flags = {"plan": False, "explain": False, "trace": False, "calculus": False}
+    print(
+        f"repro OQL shell — database '{db_name}' ({db!r}).\n"
+        "End queries with ';' (views: 'define <name> as <query>;').\n"
+        "Meta: \\plan \\explain \\trace \\calculus \\views \\db <name> \\quit",
+        file=out,
+    )
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "oql> " if not buffer else "...> "
+            line = input(prompt)
+        except EOFError:
+            print(file=out)
+            return
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            command, _, argument = stripped[1:].partition(" ")
+            if command in ("quit", "q", "exit"):
+                return
+            if command == "db":
+                if argument in DATABASES:
+                    db = DATABASES[argument]()
+                    optimizer = Optimizer(db)
+                    print(f"switched to '{argument}' ({db!r})", file=out)
+                else:
+                    print(f"unknown database; choose from {sorted(DATABASES)}", file=out)
+                continue
+            if command in flags:
+                flags[command] = not flags[command]
+                print(f"\\{command} {'on' if flags[command] else 'off'}", file=out)
+                continue
+            if command == "views":
+                if optimizer.views:
+                    for view_name in sorted(optimizer.views):
+                        print(f"  {view_name}", file=out)
+                else:
+                    print("  (no views defined)", file=out)
+                continue
+            print(f"unknown meta-command \\{command}", file=out)
+            continue
+        buffer.append(line)
+        if not stripped.endswith(";"):
+            continue
+        source = "\n".join(buffer).rstrip().rstrip(";")
+        buffer = []
+        if not source.strip():
+            continue
+        try:
+            if source.lstrip().lower().startswith("define"):
+                name = optimizer.define_view(source)
+                print(f"view {name!r} defined", file=out)
+            else:
+                run_query(
+                    source,
+                    db,
+                    show_plan=flags["plan"],
+                    show_explain=flags["explain"],
+                    show_trace=flags["trace"],
+                    show_calculus=flags["calculus"],
+                    optimizer=optimizer,
+                    out=out,
+                )
+        except Exception as exc:  # noqa: BLE001 - REPL survives bad queries
+            print(f"error: {exc}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.query is None:
+        repl(args.db)
+        return 0
+    db = DATABASES[args.db]()
+    try:
+        run_query(
+            args.query,
+            db,
+            show_plan=args.plan,
+            show_explain=args.explain,
+            show_trace=args.trace,
+            show_calculus=args.calculus,
+            compare_naive=args.naive,
+            unnest=not args.no_unnest,
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: normalization (N1-N9), the unnesting
+algorithm (C1-C9), the Section 5 simplification, and the optimizer."""
+
+from repro.core.classify import NestingReport, classify, classify_oql
+from repro.core.normalization import canonicalize, normalize, normalize_predicates, prepare
+from repro.core.optimizer import CompiledQuery, Optimizer, OptimizerOptions
+from repro.core.simplification import simplify
+from repro.core.unnesting import UnnestingError, UnnestingTrace, unnest, unnest_query
+
+__all__ = [
+    "CompiledQuery",
+    "NestingReport",
+    "Optimizer",
+    "OptimizerOptions",
+    "UnnestingError",
+    "UnnestingTrace",
+    "canonicalize",
+    "classify",
+    "classify_oql",
+    "normalize",
+    "normalize_predicates",
+    "prepare",
+    "simplify",
+    "unnest",
+    "unnest_query",
+]

@@ -1,0 +1,110 @@
+"""Nesting classification — Kim's taxonomy, as used by the paper.
+
+Section 2 of the paper describes which nesting classes its normalization
+handles ("our normalization algorithm unnests all type N and J nested
+queries [16]") and which need the full unnesting machinery ("these cases
+(which are types A and JA nested queries) require the use of outer-joins
+and grouping").  This module classifies a calculus term accordingly:
+
+* **flat** — no nested comprehension at all;
+* **type N** — an uncorrelated nested collection query (no free range
+  variables of the outer query inside the inner one);
+* **type J** — a correlated nested collection query (join predicate links
+  inner and outer);
+* **type A** — an uncorrelated nested *aggregate* (primitive monoid);
+* **type JA** — a correlated nested aggregate.
+
+The classification is used by the benchmark harness to label workloads and
+by tests to assert that normalization alone eliminates exactly the N/J
+classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calculus.terms import (
+    Comprehension,
+    Generator,
+    Term,
+    free_vars,
+)
+
+#: Ordered from least to most demanding.
+CLASS_ORDER = ("flat", "N", "J", "A", "JA")
+
+
+@dataclass(frozen=True)
+class NestingReport:
+    """The nesting classes present in a query."""
+
+    classes: frozenset[str]
+
+    @property
+    def dominant(self) -> str:
+        """The most demanding class present (flat < N < J < A < JA)."""
+        for name in reversed(CLASS_ORDER):
+            if name in self.classes or (name == "flat" and not self.classes):
+                return name
+        return "flat"
+
+    @property
+    def needs_grouping(self) -> bool:
+        """True when unnesting requires outer-joins and grouping (A/JA),
+        i.e. normalization alone cannot remove the nesting."""
+        return bool(self.classes & {"A", "JA"})
+
+    def __str__(self) -> str:
+        if not self.classes:
+            return "flat"
+        return "+".join(c for c in CLASS_ORDER if c in self.classes)
+
+
+def classify(term: Term) -> NestingReport:
+    """Classify the nesting of a calculus term (typically pre-normalization)."""
+    classes: set[str] = set()
+    _walk(term, outer_vars=frozenset(), classes=classes, position=None)
+    return NestingReport(frozenset(classes))
+
+
+def _walk(
+    term: Term,
+    outer_vars: frozenset[str],
+    classes: set[str],
+    position: str | None,  # None (top level), "domain", "pred", or "head"
+) -> None:
+    if isinstance(term, Comprehension):
+        if position is not None:
+            correlated = bool(free_vars(term) & outer_vars)
+            # What needs grouping (types A/JA, per the paper's Section 2
+            # discussion): true aggregates and universal quantifiers
+            # anywhere, and ANY comprehension embedded in the head — "the
+            # computed set must be embedded in the result of every
+            # iteration of the outer comprehension".  Existential
+            # quantification (rule N8) and nested generator domains
+            # (rules N5/N7) are the normalizable N/J classes.
+            aggregate = (
+                not term.monoid.is_collection and term.monoid_name != "some"
+            ) or position == "head"
+            if aggregate:
+                classes.add("JA" if correlated else "A")
+            else:
+                classes.add("J" if correlated else "N")
+        bound = set(outer_vars)
+        for qualifier in term.qualifiers:
+            if isinstance(qualifier, Generator):
+                _walk(qualifier.domain, frozenset(bound), classes, "domain")
+                bound.add(qualifier.var)
+            else:
+                _walk(qualifier.pred, frozenset(bound), classes, "pred")
+        _walk(term.head, frozenset(bound), classes, "head")
+        return
+    for child in term.children():
+        _walk(child, outer_vars, classes, position)
+
+
+def classify_oql(source: str, schema=None) -> NestingReport:
+    """Parse, translate, and classify an OQL query."""
+    from repro.oql.translator import parse_and_translate
+
+    return classify(parse_and_translate(source, schema))

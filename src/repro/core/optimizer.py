@@ -1,0 +1,464 @@
+"""The full OQL optimizer pipeline (paper Section 6).
+
+The paper's prototype combines query unnesting with "other optimization
+techniques, such as materialization of path expressions into joins,
+performing selections as early as possible, rearranging join orders,
+choosing access paths, assigning evaluation algorithms to operators".  This
+module is the corresponding driver:
+
+    OQL text
+      → parse → translate             (repro.oql)
+      → normalize + canonicalize      (repro.core.normalization,  phase "normalization")
+      → unnest C1–C9                  (repro.core.unnesting,      phase "unnesting")
+      → simplify §5                   (repro.core.simplification, phase "simplification")
+      → algebraic rewrites            (this module,               phase "algebraic")
+      → join permutation              (this module + cost model,  phase "join-order")
+      → physical planning             (repro.engine.planner,      phase "physical")
+
+Every phase can be switched off through :class:`OptimizerOptions`; with
+``unnest=False`` the query is executed by direct calculus interpretation —
+the naive nested-loop strategy of un-optimizing OODB systems, which is the
+baseline all benchmarks compare against.
+
+Note on *path materialization*: the paper cites [1] for converting pointer
+paths into joins against the referenced extent.  Our object store embeds
+related objects by value (there are no inter-object references to chase), so
+every path expression is already a direct navigation; the rewrite has no
+work to do and is intentionally absent.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.operators import (
+    Join,
+    Nest,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Reduce,
+    Seed,
+    Select,
+    Unnest,
+)
+from repro.calculus.evaluator import Evaluator
+from repro.calculus.terms import Term, conj, conjuncts, free_vars
+from repro.core.normalization import prepare
+from repro.core.rewrite import RewriteEngine, RuleSet
+from repro.core.simplification import simplify
+from repro.core.unnesting import UnnestingTrace, unnest, _uniquify
+from repro.data.database import Database
+from repro.engine.cost import CostModel
+from repro.engine.planner import PlannerOptions, plan_physical
+from repro.engine.physical import PEval, PReduce, PhysicalOperator
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Phase switches; the ablation benchmarks toggle these."""
+
+    unnest: bool = True
+    simplify: bool = True
+    algebraic: bool = True
+    reorder_joins: bool = True
+    hash_joins: bool = True
+    #: Type-check the calculus translation (Figure 3) and the final plan
+    #: (Figure 6) during compilation, failing fast on ill-typed queries.
+    typecheck: bool = False
+
+
+# ---------------------------------------------------------------------------
+# The algebraic rule set ("performing selections as early as possible")
+# ---------------------------------------------------------------------------
+
+ALGEBRAIC_RULES = RuleSet("algebraic")
+
+
+@ALGEBRAIC_RULES.rule(
+    "select-true-elim", "drop selections whose predicate is constant true"
+)
+def _select_true(plan: Operator) -> Operator | None:
+    from repro.calculus.terms import Const
+
+    if isinstance(plan, Select) and plan.pred == Const(True):
+        return plan.child
+    return None
+
+
+@ALGEBRAIC_RULES.rule("select-merge", "fuse adjacent selections")
+def _select_merge(plan: Operator) -> Operator | None:
+    if isinstance(plan, Select) and isinstance(plan.child, Select):
+        return Select(plan.child.child, conj(plan.child.pred, plan.pred))
+    return None
+
+
+@ALGEBRAIC_RULES.rule(
+    "join-pred-push-right",
+    "move right-only join-predicate conjuncts into a selection on the right "
+    "input (sound for outer-joins: a failing tuple pads either way)",
+)
+def _join_push_right(plan: Operator) -> Operator | None:
+    if not isinstance(plan, (Join, OuterJoin)):
+        return None
+    right_cols = set(plan.right.columns())
+    movable = [p for p in conjuncts(plan.pred) if free_vars(p) and free_vars(p) <= right_cols]
+    if not movable:
+        return None
+    rest = [p for p in conjuncts(plan.pred) if p not in movable]
+    new_right = Select(plan.right, conj(*movable))
+    cls = type(plan)
+    return cls(plan.left, new_right, conj(*rest))
+
+
+@ALGEBRAIC_RULES.rule(
+    "join-pred-push-left",
+    "move left-only join-predicate conjuncts into a selection on the left "
+    "input (inner joins only: an outer-join must keep padding such tuples)",
+)
+def _join_push_left(plan: Operator) -> Operator | None:
+    if not isinstance(plan, Join):
+        return None
+    left_cols = set(plan.left.columns())
+    movable = [p for p in conjuncts(plan.pred) if free_vars(p) and free_vars(p) <= left_cols]
+    if not movable:
+        return None
+    rest = [p for p in conjuncts(plan.pred) if p not in movable]
+    return Join(Select(plan.left, conj(*movable)), plan.right, conj(*rest))
+
+
+@ALGEBRAIC_RULES.rule(
+    "select-pushdown",
+    "push a selection below a join / unnest when it only references one side",
+)
+def _select_pushdown(plan: Operator) -> Operator | None:
+    if not isinstance(plan, Select):
+        return None
+    child = plan.child
+    parts = conjuncts(plan.pred)
+    if isinstance(child, (Join, OuterJoin)):
+        left_cols = set(child.left.columns())
+        down = [p for p in parts if free_vars(p) <= left_cols]
+        if not down:
+            return None
+        keep = [p for p in parts if p not in down]
+        cls = type(child)
+        pushed = cls(Select(child.left, conj(*down)), child.right, child.pred)
+        return Select(pushed, conj(*keep)) if keep else pushed
+    if isinstance(child, (Unnest, OuterUnnest)):
+        child_cols = set(child.child.columns())
+        down = [p for p in parts if free_vars(p) <= child_cols]
+        if not down:
+            return None
+        keep = [p for p in parts if p not in down]
+        cls = type(child)
+        pushed = cls(Select(child.child, conj(*down)), child.path, child.var, child.pred)
+        return Select(pushed, conj(*keep)) if keep else pushed
+    return None
+
+
+@ALGEBRAIC_RULES.rule(
+    "reduce-pred-to-select",
+    "materialize a reduce's predicate as a selection so pushdown can move it",
+)
+def _reduce_pred_to_select(plan: Operator) -> Operator | None:
+    from repro.calculus.terms import Const
+
+    if isinstance(plan, Reduce) and plan.pred != Const(True):
+        return Reduce(
+            Select(plan.child, plan.pred), plan.monoid_name, plan.head
+        )
+    return None
+
+
+@ALGEBRAIC_RULES.rule(
+    "select-through-nest",
+    "push selection conjuncts over the grouping columns below a nest "
+    "(dropping a group's input rows and dropping the emitted group agree "
+    "exactly when the predicate only reads the group-by columns)",
+)
+def _select_through_nest(plan: Operator) -> Operator | None:
+    if not (isinstance(plan, Select) and isinstance(plan.child, Nest)):
+        return None
+    nest = plan.child
+    group_cols = set(nest.group_by)
+    parts = conjuncts(plan.pred)
+    down = [p for p in parts if free_vars(p) <= group_cols]
+    if not down:
+        return None
+    keep = [p for p in parts if p not in down]
+    from repro.algebra.operators import rebuild
+
+    pushed = rebuild(nest, (Select(nest.child, conj(*down)),))
+    return Select(pushed, conj(*keep)) if keep else pushed
+
+
+@ALGEBRAIC_RULES.rule(
+    "seed-join-elim", "a join against the unit stream is the other input"
+)
+def _seed_join(plan: Operator) -> Operator | None:
+    if isinstance(plan, Join):
+        if isinstance(plan.left, Seed):
+            return Select(plan.right, plan.pred)
+        if isinstance(plan.right, Seed):
+            return Select(plan.left, plan.pred)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Join permutation (cost-based, Section 6's "rearranging join orders")
+# ---------------------------------------------------------------------------
+
+
+def reorder_joins(plan: Operator, cost_model: CostModel) -> Operator:
+    """Greedily reorder maximal chains of inner joins by estimated size.
+
+    Inner joins commute and associate, so a left-deep chain is flattened
+    into its leaf inputs plus a pool of predicate conjuncts and rebuilt
+    smallest-intermediate-first, attaching each conjunct at the lowest join
+    where its columns are available.  Outer operators are never moved.
+    """
+    from repro.algebra.operators import transform_plan
+
+    def visit(node: Operator) -> Operator:
+        if isinstance(node, Join):
+            leaves, preds = _flatten_joins(node)
+            if len(leaves) > 2:
+                return _rebuild_joins(leaves, preds, cost_model)
+        return node
+
+    return transform_plan(plan, visit)
+
+
+def _flatten_joins(plan: Join) -> tuple[list[Operator], list[Term]]:
+    leaves: list[Operator] = []
+    preds: list[Term] = []
+
+    def walk(node: Operator) -> None:
+        if isinstance(node, Join):
+            walk(node.left)
+            walk(node.right)
+            preds.extend(conjuncts(node.pred))
+        else:
+            leaves.append(node)
+
+    walk(plan)
+    return leaves, preds
+
+
+def _rebuild_joins(
+    leaves: list[Operator], preds: list[Term], cost_model: CostModel
+) -> Operator:
+    remaining = list(leaves)
+    pool = list(preds)
+
+    def applicable(cols: set[str]) -> list[Term]:
+        return [p for p in pool if free_vars(p) <= cols]
+
+    # Start from the smallest leaf.
+    current = min(remaining, key=cost_model.cardinality)
+    remaining.remove(current)
+    current_cols = set(current.columns())
+
+    while remaining:
+        best = None
+        best_card = float("inf")
+        best_preds: list[Term] = []
+        for leaf in remaining:
+            cols = current_cols | set(leaf.columns())
+            usable = applicable(cols)
+            selectivity = cost_model.selectivity(conj(*usable)) if usable else 1.0
+            card = (
+                cost_model.cardinality(current)
+                * cost_model.cardinality(leaf)
+                * selectivity
+            )
+            # Strongly prefer joins with at least one predicate over cross
+            # products.
+            if not usable:
+                card *= 1e6
+            if card < best_card:
+                best, best_card, best_preds = leaf, card, usable
+        assert best is not None
+        remaining.remove(best)
+        for pred in best_preds:
+            pool.remove(pred)
+        current = Join(current, best, conj(*best_preds))
+        current_cols |= set(best.columns())
+
+    if pool:
+        current = Select(current, conj(*pool))
+    return current
+
+
+# ---------------------------------------------------------------------------
+# The compiled query object and the optimizer driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the pipeline produced for one query."""
+
+    source: str | None
+    term: Term  # calculus translation (before normalization)
+    prepared: Term  # normalized, canonicalized, alpha-unique
+    logical: Operator | None  # unnested plan (None when unnesting is off)
+    optimized: Operator | None  # after simplification + algebraic phases
+    trace: UnnestingTrace | None
+    options: OptimizerOptions
+    rule_firings: list = field(default_factory=list)
+    #: ORDER BY keys over the result element (engine extension; the paper
+    #: defers list monoids).  Each entry is (key term, ascending).
+    order_by: tuple = ()
+
+    def execute(self, database: Database) -> Any:
+        """Run the query against *database* using the compiled strategy."""
+        if self.optimized is None:
+            # Naive nested-loop evaluation of the calculus form.
+            result = Evaluator(database).evaluate(self.prepared)
+        else:
+            physical = self.physical(database)
+            assert isinstance(physical, (PReduce, PEval))
+            result = physical.value()
+        if self.order_by:
+            result = _apply_order(result, self.order_by, database)
+        return result
+
+    def physical(self, database: Database) -> PhysicalOperator:
+        if self.optimized is None:
+            raise ValueError("no algebraic plan: query compiled with unnest=False")
+        return plan_physical(
+            self.optimized,
+            database,
+            PlannerOptions(hash_joins=self.options.hash_joins),
+        )
+
+    def explain(self, database: Database) -> str:
+        """An EXPLAIN-style report of the physical plan."""
+        return self.physical(database).explain()
+
+
+def _apply_order(result: Any, order_by: tuple, database: Database) -> Any:
+    """Sort a collection result into a list by the ORDER BY keys."""
+    from repro.data.values import CollectionValue, ListValue, Record
+
+    if not isinstance(result, CollectionValue):
+        raise TypeError("ORDER BY applies to collection-valued queries only")
+    evaluator = Evaluator(database)
+
+    def env_of(element: Any) -> dict[str, Any]:
+        env = {"value": element}
+        if isinstance(element, Record):
+            env.update(element)
+        return env
+
+    elements = list(result.elements())
+    # Stable sorts applied from the least to the most significant key.
+    for key_term, ascending in reversed(order_by):
+        elements.sort(
+            key=lambda element: evaluator.evaluate(key_term, env_of(element)),
+            reverse=not ascending,
+        )
+    return ListValue(elements)
+
+
+class Optimizer:
+    """The end-to-end OQL optimizer."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        options: OptimizerOptions | None = None,
+    ):
+        self.database = database
+        self.options = options or OptimizerOptions()
+        self.cost_model = CostModel(database)
+        #: Named views (``define name as query``), inlined at translation.
+        self.views: dict = {}
+
+    def define_view(self, source: str) -> str:
+        """Register a view from a ``define name as query`` statement.
+
+        Returns the view's name.  The body may reference previously
+        defined views.
+        """
+        from repro.oql import ast as oql_ast
+        from repro.oql.parser import parse_statement
+
+        statement = parse_statement(source)
+        if not isinstance(statement, oql_ast.Define):
+            raise ValueError("expected a 'define <name> as <query>' statement")
+        self.views[statement.name] = statement.query
+        return statement.name
+
+    def compile_oql(self, source: str) -> CompiledQuery:
+        """Compile an OQL query string."""
+        from repro.oql import ast as oql_ast
+        from repro.oql.parser import parse
+        from repro.oql.translator import (
+            peel_order_by,
+            translate,
+            translate_order_keys,
+        )
+
+        schema = self.database.schema if self.database is not None else None
+        parsed = parse(source)
+        stripped, order_items = peel_order_by(parsed)
+        term = translate(stripped, schema, self.views)
+        compiled = self.compile_term(term, source=source)
+        if order_items:
+            assert isinstance(stripped, oql_ast.Select)
+            compiled.order_by = translate_order_keys(order_items, stripped, schema)
+        return compiled
+
+    def run_statement(self, source: str):
+        """Execute a statement: a DEFINE registers a view (returns its
+        name); anything else compiles and runs as a query."""
+        stripped = source.lstrip().lower()
+        if stripped.startswith("define"):
+            return self.define_view(source)
+        return self.run_oql(source)
+
+    def compile_term(self, term: Term, source: str | None = None) -> CompiledQuery:
+        """Compile a calculus term."""
+        options = self.options
+        if options.typecheck:
+            from repro.calculus.typing import infer_type
+
+            schema = self.database.schema if self.database is not None else None
+            infer_type(term, schema)
+        prepared = _uniquify(prepare(term))
+        if not options.unnest:
+            return CompiledQuery(
+                source, term, prepared, None, None, None, options
+            )
+        trace = UnnestingTrace()
+        logical = unnest(prepared, trace)
+        optimized = logical
+        engine = RewriteEngine()
+        if options.simplify:
+            optimized = simplify(optimized)
+        if options.algebraic:
+            optimized = engine.run_phase(ALGEBRAIC_RULES, optimized)
+        if options.reorder_joins:
+            optimized = reorder_joins(optimized, self.cost_model)
+            if options.algebraic:
+                # Reordering can expose new pushdown opportunities.
+                optimized = engine.run_phase(ALGEBRAIC_RULES, optimized)
+        if options.typecheck:
+            from repro.algebra.typing import infer_plan_type
+
+            schema = self.database.schema if self.database is not None else None
+            infer_plan_type(optimized, schema)
+        return CompiledQuery(
+            source, term, prepared, logical, optimized, trace, options,
+            rule_firings=engine.firings,
+        )
+
+    def run_oql(self, source: str) -> Any:
+        """Compile and execute an OQL query in one call."""
+        if self.database is None:
+            raise ValueError("optimizer has no database to run against")
+        return self.compile_oql(source).execute(self.database)

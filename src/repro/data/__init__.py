@@ -1,0 +1,36 @@
+"""The in-memory OODB substrate: values, schema catalog, object store, and
+deterministic synthetic data generators for the paper's example schemas."""
+
+from repro.data.database import Database
+from repro.data.datagen import (
+    ab_database,
+    company_database,
+    travel_database,
+    university_database,
+)
+from repro.data.schema import Schema
+from repro.data.values import (
+    NULL,
+    BagValue,
+    ListValue,
+    NullValue,
+    Record,
+    SetValue,
+    is_null,
+)
+
+__all__ = [
+    "NULL",
+    "BagValue",
+    "Database",
+    "ListValue",
+    "NullValue",
+    "Record",
+    "Schema",
+    "SetValue",
+    "ab_database",
+    "company_database",
+    "is_null",
+    "travel_database",
+    "university_database",
+]

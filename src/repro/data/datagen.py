@@ -1,0 +1,407 @@
+"""Deterministic synthetic data generators for the paper's example schemas.
+
+The paper's examples run over three schemas: a *company* schema (Employees,
+Departments, Managers — QUERIES A, B, D and the Section 5 group-by example),
+a *university* schema (Student, Courses, Transcript — QUERY E), and a
+*travel* schema (Cities/hotels, States/attractions — the Section 2 OQL
+normalization example).  No data sets were published, so these generators
+produce deterministic (seeded) synthetic instances whose sizes are
+parameterized — that is what the benchmark sweeps vary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.data.database import Database
+from repro.data.schema import (
+    FLOAT,
+    INT,
+    STRING,
+    Schema,
+    record_of,
+    set_of,
+)
+from repro.data.values import Record, SetValue
+
+_FIRST_NAMES = (
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+    "Trent", "Victor", "Walter", "Yolanda",
+)
+
+_CITY_NAMES = (
+    "Arlington", "Austin", "Boston", "Chicago", "Dallas", "Denver",
+    "Houston", "Madison", "Portland", "Seattle",
+)
+
+_STATE_NAMES = ("Texas", "Washington", "Oregon", "Illinois", "Wisconsin")
+
+_COURSE_TITLES = ("DB", "OS", "AI", "PL", "Networks", "Graphics", "Theory")
+
+
+# ---------------------------------------------------------------------------
+# Company schema (QUERIES A, B, D; Section 5 example)
+# ---------------------------------------------------------------------------
+
+
+def company_schema() -> Schema:
+    """Schema for the Employees / Departments / Managers examples."""
+    schema = Schema()
+    person = schema.define_class("Person", name=STRING, age=INT)
+    manager_info = record_of(name=STRING, children=set_of(person))
+    schema.classes["ManagerInfo"] = manager_info
+    schema.define_class(
+        "Employee",
+        oid=INT,
+        name=STRING,
+        age=INT,
+        salary=FLOAT,
+        dno=INT,
+        children=set_of(person),
+        manager=manager_info,
+    )
+    schema.define_class("Department", dno=INT, name=STRING, budget=FLOAT)
+    schema.define_class("Manager", name=STRING, age=INT, salary=FLOAT)
+    schema.define_extent("Employees", "Employee")
+    schema.define_extent("Departments", "Department")
+    schema.define_extent("Managers", "Manager")
+    return schema
+
+
+def company_database(
+    num_employees: int = 60,
+    num_departments: int = 8,
+    num_managers: int = 10,
+    max_children: int = 3,
+    seed: int = 1998,
+) -> Database:
+    """A deterministic company database instance.
+
+    A fraction of departments intentionally has no employees and a fraction
+    of employees has no children, so the outer-join / outer-unnest NULL
+    paths of the unnested plans are always exercised.
+    """
+    rng = random.Random(seed)
+    db = Database(company_schema())
+
+    def person(prefix: str, index: int) -> Record:
+        return Record(
+            name=f"{prefix}-{_FIRST_NAMES[index % len(_FIRST_NAMES)]}",
+            age=rng.randint(1, 18),
+        )
+
+    managers = [
+        Record(
+            name=f"Mgr-{_FIRST_NAMES[i % len(_FIRST_NAMES)]}",
+            age=rng.randint(30, 65),
+            salary=float(rng.randint(60, 160) * 1000),
+        )
+        for i in range(max(num_managers, 1))
+    ]
+    manager_infos = [
+        Record(
+            name=m["name"],
+            children=SetValue(
+                person(f"mc{i}", j) for j in range(rng.randint(0, max_children))
+            ),
+        )
+        for i, m in enumerate(managers)
+    ]
+
+    employees = []
+    for i in range(num_employees):
+        children = SetValue(
+            person(f"c{i}", j) for j in range(rng.randint(0, max_children))
+        )
+        employees.append(
+            Record(
+                oid=i,
+                name=f"Emp-{i}-{_FIRST_NAMES[i % len(_FIRST_NAMES)]}",
+                age=rng.randint(20, 64),
+                salary=float(rng.randint(30, 150) * 1000),
+                # Department numbers start at 1; dno 0 never exists so some
+                # employees are guaranteed not to join with any department,
+                # and the highest departments may have no employees.
+                dno=rng.randint(1, max(num_departments + 2, 2)),
+                children=children,
+                manager=manager_infos[i % len(manager_infos)],
+            )
+        )
+
+    departments = [
+        Record(
+            dno=d + 1,
+            name=f"Dept-{d + 1}",
+            budget=float(rng.randint(100, 900) * 1000),
+        )
+        for d in range(num_departments)
+    ]
+
+    db.add_extent("Employees", employees)
+    db.add_extent("Departments", departments)
+    db.add_extent("Managers", managers)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# University schema (QUERY E)
+# ---------------------------------------------------------------------------
+
+
+def university_schema() -> Schema:
+    """Schema for the Student / Courses / Transcript examples (QUERY E)."""
+    schema = Schema()
+    schema.define_class("Student", id=INT, name=STRING, age=INT)
+    schema.define_class("Course", cno=INT, title=STRING)
+    schema.define_class("TranscriptEntry", id=INT, cno=INT, grade=FLOAT)
+    schema.define_extent("Student", "Student")
+    schema.define_extent("Courses", "Course")
+    schema.define_extent("Transcript", "TranscriptEntry")
+    return schema
+
+
+def university_database(
+    num_students: int = 40,
+    num_courses: int = 12,
+    enrollment_probability: float = 0.4,
+    db_course_fraction: float = 0.3,
+    seed: int = 1998,
+) -> Database:
+    """A deterministic university database instance.
+
+    ``db_course_fraction`` of the courses are titled "DB" so QUERY E's
+    universal quantification ranges over several courses; enrollments are
+    Bernoulli so some students take all DB courses and some take none.
+    """
+    rng = random.Random(seed)
+    db = Database(university_schema())
+
+    students = [
+        Record(
+            id=i,
+            name=f"Stu-{i}-{_FIRST_NAMES[i % len(_FIRST_NAMES)]}",
+            age=rng.randint(18, 30),
+        )
+        for i in range(num_students)
+    ]
+    num_db = max(1, int(num_courses * db_course_fraction))
+    courses = [
+        Record(
+            cno=c,
+            title="DB" if c < num_db else _COURSE_TITLES[1 + c % (len(_COURSE_TITLES) - 1)],
+        )
+        for c in range(num_courses)
+    ]
+    transcript = []
+    for student in students:
+        for course in courses:
+            if rng.random() < enrollment_probability:
+                transcript.append(
+                    Record(
+                        id=student["id"],
+                        cno=course["cno"],
+                        grade=round(rng.uniform(1.0, 4.0), 2),
+                    )
+                )
+    # Guarantee at least one student who took every DB course, so the result
+    # of QUERY E is non-trivially non-empty at every size.
+    if students:
+        for course in courses[:num_db]:
+            transcript.append(
+                Record(id=students[0]["id"], cno=course["cno"], grade=4.0)
+            )
+
+    db.add_extent("Student", students)
+    db.add_extent("Courses", courses)
+    db.add_extent("Transcript", transcript)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Travel schema (Section 2 OQL normalization example)
+# ---------------------------------------------------------------------------
+
+
+def travel_schema() -> Schema:
+    """Schema for the Cities / States examples (Section 2)."""
+    schema = Schema()
+    room = schema.define_class("Room", bed_num=INT)
+    hotel = schema.define_class(
+        "Hotel", name=STRING, price=FLOAT, rooms=set_of(room)
+    )
+    schema.define_class("City", name=STRING, hotels=set_of(hotel))
+    attraction = schema.define_class("Attraction", name=STRING)
+    schema.define_class("State", name=STRING, attractions=set_of(attraction))
+    schema.define_extent("Cities", "City")
+    schema.define_extent("States", "State")
+    return schema
+
+
+def travel_database(
+    num_cities: int = 8,
+    hotels_per_city: int = 5,
+    rooms_per_hotel: int = 6,
+    seed: int = 1998,
+) -> Database:
+    """A deterministic travel database (Cities with hotels, States)."""
+    rng = random.Random(seed)
+    db = Database(travel_schema())
+
+    hotel_names = [f"Hotel-{i}" for i in range(num_cities * hotels_per_city)]
+    cities = []
+    for c in range(num_cities):
+        hotels = []
+        for h in range(hotels_per_city):
+            rooms = SetValue(
+                Record(bed_num=rng.randint(1, 3))
+                for _ in range(rng.randint(1, rooms_per_hotel))
+            )
+            hotels.append(
+                Record(
+                    name=hotel_names[c * hotels_per_city + h],
+                    price=float(rng.randint(40, 400)),
+                    rooms=rooms,
+                )
+            )
+        cities.append(
+            Record(name=_CITY_NAMES[c % len(_CITY_NAMES)], hotels=SetValue(hotels))
+        )
+
+    states = []
+    for s, state_name in enumerate(_STATE_NAMES):
+        # Texas' attractions intentionally overlap hotel names so the
+        # Section 2 example query has a non-empty answer.
+        attraction_names: Iterable[str]
+        if state_name == "Texas":
+            # Bias toward Arlington's own hotels (the first hotels_per_city
+            # names) so the example query's join is non-empty.
+            arlington = hotel_names[:hotels_per_city]
+            rest = rng.sample(hotel_names, k=min(3, len(hotel_names)))
+            attraction_names = list(dict.fromkeys(arlington + rest))
+        else:
+            attraction_names = [f"Attraction-{s}-{i}" for i in range(4)]
+        states.append(
+            Record(
+                name=state_name,
+                attractions=SetValue(Record(name=n) for n in attraction_names),
+            )
+        )
+
+    db.add_extent("Cities", cities)
+    db.add_extent("States", states)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Auction schema (not from the paper: a generality check for the pipeline)
+# ---------------------------------------------------------------------------
+
+
+def auction_schema() -> Schema:
+    """Users placing bids on items — a schema the paper never saw."""
+    schema = Schema()
+    bid = schema.define_class("Bid", bidder=INT, item=INT, amount=FLOAT)
+    schema.define_class(
+        "Item",
+        ino=INT,
+        title=STRING,
+        reserve=FLOAT,
+        categories=set_of(record_of(name=STRING)),
+    )
+    schema.define_class("User", uno=INT, name=STRING, rating=INT)
+    schema.define_extent("Bids", "Bid")
+    schema.define_extent("Items", "Item")
+    schema.define_extent("Users", "User")
+    return schema
+
+
+def auction_database(
+    num_users: int = 30,
+    num_items: int = 20,
+    bids_per_user: int = 4,
+    seed: int = 1998,
+) -> Database:
+    """A deterministic auction database.
+
+    Some items intentionally receive no bids and some users never bid, so
+    outer-operator padding paths are exercised; reserves are set so that
+    roughly half the items have a bid meeting the reserve.
+    """
+    rng = random.Random(seed)
+    db = Database(auction_schema())
+
+    categories = ("art", "books", "tools", "music", "games")
+    items = [
+        Record(
+            ino=i,
+            title=f"Item-{i}",
+            reserve=float(rng.randint(10, 90)),
+            categories=SetValue(
+                Record(name=c)
+                for c in rng.sample(categories, k=rng.randint(1, 3))
+            ),
+        )
+        for i in range(num_items)
+    ]
+    users = [
+        Record(
+            uno=u,
+            name=f"User-{u}-{_FIRST_NAMES[u % len(_FIRST_NAMES)]}",
+            rating=rng.randint(0, 5),
+        )
+        for u in range(num_users)
+    ]
+    bids = []
+    for user in users:
+        if user["uno"] % 7 == 3:
+            continue  # some users never bid
+        for _ in range(rng.randint(0, bids_per_user)):
+            # item 0 never receives bids
+            item = items[rng.randint(1, max(num_items - 1, 1))]
+            bids.append(
+                Record(
+                    bidder=user["uno"],
+                    item=item["ino"],
+                    amount=float(rng.randint(5, 120)),
+                )
+            )
+
+    db.add_extent("Users", users)
+    db.add_extent("Items", items)
+    db.add_extent("Bids", bids)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Plain A/B sets (QUERY C: A ⊆ B)
+# ---------------------------------------------------------------------------
+
+
+def ab_database(
+    size_a: int = 20,
+    size_b: int = 30,
+    subset: bool = False,
+    seed: int = 1998,
+) -> Database:
+    """Two integer extents A and B for the containment query (QUERY C).
+
+    With ``subset=True``, A is guaranteed to be a subset of B.
+    """
+    rng = random.Random(seed)
+    universe = range(3 * max(size_a, size_b, 1))
+    b_items = rng.sample(universe, k=min(size_b, len(universe)))
+    if subset:
+        a_items = rng.sample(b_items, k=min(size_a, len(b_items)))
+    else:
+        a_items = rng.sample(universe, k=min(size_a, len(universe)))
+
+    schema = Schema()
+    schema.define_class("Int", value=INT)
+    schema.define_extent("A", "Int")
+    schema.define_extent("B", "Int")
+    db = Database(schema)
+    db.add_extent("A", a_items)
+    db.add_extent("B", b_items)
+    return db

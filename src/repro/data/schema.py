@@ -1,0 +1,256 @@
+"""Type system and schema catalog for the OODB data model.
+
+The paper's typing rules (Figure 3 for the calculus, Figure 6 for the
+algebra) are stated over a type language with primitive types, record types,
+and collection types.  This module provides that type language plus a schema
+catalog mapping class names to their attribute types and extent names to
+their element classes — the information the OQL translator and the type
+checkers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class Type:
+    """Base class for all data-model types."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    def __str__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A record type ``( A1: t1, ..., An: tn )``."""
+
+    fields: tuple[tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate record attributes: {names}")
+        # Canonical attribute order makes structural equality order-free.
+        object.__setattr__(
+            self, "fields", tuple(sorted(self.fields, key=lambda kv: kv[0]))
+        )
+
+    def attribute(self, name: str) -> Type:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise KeyError(
+            f"record type has no attribute {name!r}; attributes are "
+            f"{[n for n, _ in self.fields]}"
+        )
+
+    def has_attribute(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"( {inner} )"
+
+
+@dataclass(frozen=True)
+class CollectionType(Type):
+    """A collection type: set(t), bag(t), or list(t)."""
+
+    monoid_name: str  # "set" | "bag" | "list"
+    element: Type
+
+    def __post_init__(self) -> None:
+        if self.monoid_name not in ("set", "bag", "list"):
+            raise ValueError(f"not a collection monoid: {self.monoid_name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.monoid_name}({self.element})"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """A function type t1 -> t2 (typing rule T6/T7)."""
+
+    param: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.param} -> {self.result})"
+
+
+@dataclass(frozen=True)
+class AnyType(Type):
+    """Top type used where inference must proceed without schema info."""
+
+    def __str__(self) -> str:
+        return "any"
+
+
+BOOL = BoolType()
+INT = IntType()
+FLOAT = FloatType()
+STRING = StringType()
+ANY = AnyType()
+
+
+def set_of(element: Type) -> CollectionType:
+    """The type ``set(element)``."""
+    return CollectionType("set", element)
+
+
+def bag_of(element: Type) -> CollectionType:
+    """The type ``bag(element)``."""
+    return CollectionType("bag", element)
+
+
+def list_of(element: Type) -> CollectionType:
+    """The type ``list(element)``."""
+    return CollectionType("list", element)
+
+
+def record_of(**fields: Type) -> RecordType:
+    """A record type from keyword arguments."""
+    return RecordType(tuple(fields.items()))
+
+
+def is_numeric(type_: Type) -> bool:
+    """True for int/float (and ``any``, which may stand for either)."""
+    return isinstance(type_, (IntType, FloatType, AnyType))
+
+
+def unify(left: Type, right: Type) -> Type:
+    """The least upper bound of two types, or raise on a mismatch.
+
+    ``any`` unifies with everything; int and float unify to float.
+    """
+    if isinstance(left, AnyType):
+        return right
+    if isinstance(right, AnyType):
+        return left
+    if left == right:
+        return left
+    if {type(left), type(right)} == {IntType, FloatType}:
+        return FLOAT
+    if isinstance(left, CollectionType) and isinstance(right, CollectionType):
+        if left.monoid_name == right.monoid_name:
+            return CollectionType(left.monoid_name, unify(left.element, right.element))
+    if isinstance(left, RecordType) and isinstance(right, RecordType):
+        left_names = [n for n, _ in left.fields]
+        right_names = [n for n, _ in right.fields]
+        if left_names == right_names:
+            fields = tuple(
+                (n, unify(lt, rt))
+                for (n, lt), (_, rt) in zip(left.fields, right.fields)
+            )
+            return RecordType(fields)
+    raise TypeError(f"cannot unify types {left} and {right}")
+
+
+@dataclass
+class Schema:
+    """A schema catalog: named record classes, inheritance, and extents.
+
+    Classes may reference each other by name (``ClassRef``-style references
+    are expressed simply by using the referenced class' record type through
+    :meth:`class_type`; recursion is broken by ``ANY`` placeholders when a
+    class is self-referential).  A class declared with ``extends=`` inherits
+    its superclass' attributes, and an extent of the superclass logically
+    contains the objects of every subclass extent (see
+    :meth:`repro.data.database.Database.extent`).
+    """
+
+    classes: dict[str, RecordType] = field(default_factory=dict)
+    extents: dict[str, str] = field(default_factory=dict)  # extent -> class
+    supertypes: dict[str, str] = field(default_factory=dict)  # class -> parent
+
+    def define_class(
+        self, class_name: str, /, extends: str | None = None, **attributes: Type
+    ) -> RecordType:
+        """Register a class; with ``extends``, inherit the parent's attributes."""
+        fields_: dict[str, Type] = {}
+        if extends is not None:
+            parent = self.class_type(extends)
+            fields_.update(dict(parent.fields))
+            self.supertypes[class_name] = extends
+        fields_.update(attributes)
+        record_type = RecordType(tuple(fields_.items()))
+        self.classes[class_name] = record_type
+        return record_type
+
+    def is_subclass(self, class_name: str, ancestor: str) -> bool:
+        """True when *class_name* is *ancestor* or derives from it."""
+        current: str | None = class_name
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.supertypes.get(current)
+        return False
+
+    def subclasses(self, class_name: str) -> tuple[str, ...]:
+        """All registered classes deriving from *class_name* (inclusive)."""
+        return tuple(
+            sorted(name for name in self.classes if self.is_subclass(name, class_name))
+        )
+
+    def define_extent(self, extent_name: str, class_name: str) -> None:
+        """Register a class extent (a named top-level set of class objects)."""
+        if class_name not in self.classes:
+            raise KeyError(f"unknown class {class_name!r}")
+        self.extents[extent_name] = class_name
+
+    def class_type(self, name: str) -> RecordType:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown class {name!r}; known: {sorted(self.classes)}"
+            ) from None
+
+    def extent_type(self, extent_name: str) -> CollectionType:
+        """The type of an extent: set(class record type)."""
+        try:
+            class_name = self.extents[extent_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown extent {extent_name!r}; known: {sorted(self.extents)}"
+            ) from None
+        return set_of(self.class_type(class_name))
+
+    def has_extent(self, extent_name: str) -> bool:
+        return extent_name in self.extents
+
+    def extent_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.extents))
+
+
+def schema_from_mapping(mapping: Mapping[str, RecordType]) -> Schema:
+    """Build a schema where each class has a same-named extent."""
+    schema = Schema()
+    for name, record_type in mapping.items():
+        schema.classes[name] = record_type
+        schema.extents[name] = name
+    return schema

@@ -1,0 +1,236 @@
+"""File-backed persistence for databases (the SHORE stand-in).
+
+The paper's prototype evaluated plans in memory and planned to "connect it
+to the SHORE object management system" for persistence.  This module is the
+corresponding substrate for this reproduction: a self-describing JSON
+format that round-trips a complete :class:`~repro.data.database.Database` —
+schema, extents (with nested records/sets/bags/lists and NULLs), and the
+set of built indexes (rebuilt on load).
+
+Format sketch::
+
+    {"format": "repro-db", "version": 1,
+     "schema": {"classes": {...}, "extents": {...}},
+     "extents": {"Employees": {"kind": "set", "items": [...]}, ...},
+     "indexes": [["Employees", "dno"], ...]}
+
+Values are encoded with one-key tag objects so scalars stay plain JSON:
+``{"$record": {...}}``, ``{"$set": [...]}``, ``{"$bag": [[item, count]]}``,
+``{"$list": [...]}``, ``{"$null": true}``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.schema import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AnyType,
+    BoolType,
+    CollectionType,
+    FloatType,
+    IntType,
+    RecordType,
+    Schema,
+    StringType,
+    Type,
+)
+from repro.data.values import (
+    NULL,
+    BagValue,
+    ListValue,
+    Record,
+    SetValue,
+    is_null,
+)
+
+FORMAT_NAME = "repro-db"
+FORMAT_VERSION = 1
+
+
+class StorageError(Exception):
+    """The file is not a valid repro database image."""
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a runtime value as JSON-compatible data."""
+    if is_null(value):
+        return {"$null": True}
+    if isinstance(value, Record):
+        return {"$record": {k: encode_value(v) for k, v in value.items()}}
+    if isinstance(value, SetValue):
+        return {"$set": [encode_value(v) for v in value.elements()]}
+    if isinstance(value, BagValue):
+        distinct = {}
+        for element in value.elements():
+            key = encode_value(element)
+            marker = json.dumps(key, sort_keys=True)
+            if marker not in distinct:
+                distinct[marker] = [key, 0]
+            distinct[marker][1] += 1
+        return {"$bag": list(distinct.values())}
+    if isinstance(value, ListValue):
+        return {"$list": [encode_value(v) for v in value.elements()]}
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    raise StorageError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: Any) -> Any:
+    """Decode JSON data produced by :func:`encode_value`."""
+    if isinstance(data, dict):
+        if "$null" in data:
+            return NULL
+        if "$record" in data:
+            return Record({k: decode_value(v) for k, v in data["$record"].items()})
+        if "$set" in data:
+            return SetValue(decode_value(v) for v in data["$set"])
+        if "$bag" in data:
+            items = []
+            for encoded, count in data["$bag"]:
+                element = decode_value(encoded)
+                items.extend([element] * count)
+            return BagValue(items)
+        if "$list" in data:
+            return ListValue(decode_value(v) for v in data["$list"])
+        raise StorageError(f"unknown value tag in {sorted(data)}")
+    if isinstance(data, (bool, int, float, str)):
+        return data
+    raise StorageError(f"cannot decode {type(data).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Type / schema encoding
+# ---------------------------------------------------------------------------
+
+_PRIMITIVES: dict[str, Type] = {
+    "bool": BOOL,
+    "int": INT,
+    "float": FLOAT,
+    "string": STRING,
+    "any": ANY,
+}
+
+
+def encode_type(type_: Type) -> Any:
+    """Encode a data-model type as JSON-compatible data."""
+    if isinstance(type_, (BoolType, IntType, FloatType, StringType, AnyType)):
+        return str(type_)
+    if isinstance(type_, CollectionType):
+        return {"collection": type_.monoid_name, "element": encode_type(type_.element)}
+    if isinstance(type_, RecordType):
+        return {"record": {name: encode_type(t) for name, t in type_.fields}}
+    raise StorageError(f"cannot encode type {type_}")
+
+
+def decode_type(data: Any) -> Type:
+    """Decode JSON produced by :func:`encode_type`."""
+    if isinstance(data, str):
+        try:
+            return _PRIMITIVES[data]
+        except KeyError:
+            raise StorageError(f"unknown primitive type {data!r}") from None
+    if isinstance(data, dict) and "collection" in data:
+        return CollectionType(data["collection"], decode_type(data["element"]))
+    if isinstance(data, dict) and "record" in data:
+        fields = tuple((name, decode_type(t)) for name, t in data["record"].items())
+        return RecordType(fields)
+    raise StorageError(f"cannot decode type from {data!r}")
+
+
+def encode_schema(schema: Schema) -> dict[str, Any]:
+    """Encode a schema catalog (classes + extents)."""
+    return {
+        "classes": {
+            name: encode_type(record_type)
+            for name, record_type in schema.classes.items()
+        },
+        "extents": dict(schema.extents),
+    }
+
+
+def decode_schema(data: dict[str, Any]) -> Schema:
+    """Decode JSON produced by :func:`encode_schema`."""
+    schema = Schema()
+    for name, encoded in data.get("classes", {}).items():
+        decoded = decode_type(encoded)
+        if not isinstance(decoded, RecordType):
+            raise StorageError(f"class {name!r} is not a record type")
+        schema.classes[name] = decoded
+    for extent, class_name in data.get("extents", {}).items():
+        schema.extents[extent] = class_name
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Whole-database round trip
+# ---------------------------------------------------------------------------
+
+_KINDS = {SetValue: "set", BagValue: "bag", ListValue: "list"}
+
+
+def database_to_dict(db: Database) -> dict[str, Any]:
+    """The JSON-compatible image of a whole database."""
+    extents: dict[str, Any] = {}
+    for name in db.extent_names():
+        collection = db.extent(name)
+        extents[name] = {
+            "kind": _KINDS[type(collection)],
+            "items": [encode_value(v) for v in collection.elements()],
+        }
+    indexes = [
+        [extent, attr]
+        for extent in db.extent_names()
+        for attr in db.indexed_attributes(extent)
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "schema": encode_schema(db.schema),
+        "extents": extents,
+        "indexes": indexes,
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if data.get("format") != FORMAT_NAME:
+        raise StorageError("not a repro database image (bad format marker)")
+    if data.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    db = Database(decode_schema(data.get("schema", {})))
+    for name, extent in data.get("extents", {}).items():
+        items = [decode_value(v) for v in extent["items"]]
+        db.add_extent(name, items, kind=extent["kind"])
+    for extent, attr in data.get("indexes", []):
+        db.create_index(extent, attr)
+    return db
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write *db* to *path* as a self-describing JSON image."""
+    Path(path).write_text(json.dumps(database_to_dict(db), indent=1))
+
+
+def load_database(path: str | Path) -> Database:
+    """Load a database image written by :func:`save_database`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt database image: {exc}") from exc
+    return database_from_dict(data)

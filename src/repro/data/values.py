@@ -1,0 +1,298 @@
+"""Runtime values for the object-oriented data model.
+
+The calculus and the algebra of the paper operate over a small universe of
+values: scalars (booleans, numbers, strings), records (tuples with named
+attributes), the three collection kinds (sets, bags, lists), and ``NULL``.
+
+Every value in this module is *immutable and hashable*.  This is a deliberate
+engineering choice: the nest operator of the algebra groups streams by
+arbitrary value keys, and the set monoid must deduplicate arbitrary elements;
+hashability makes both O(1) per element.  Database objects are plain
+:class:`Record` values whose identity, when needed, is an ``oid`` attribute
+(see :mod:`repro.data.database`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+
+class NullValue:
+    """The distinguished ``NULL`` value of the paper's calculus.
+
+    The paper extends every type domain with ``NULL`` and supports exactly
+    two operations on it: creating it and testing for it (Section 2).  The
+    unnesting algorithm introduces NULLs via outer-joins and outer-unnests
+    and removes them via the nest operator's null-to-zero conversion.
+
+    This class is a singleton; use the module-level :data:`NULL`.
+    """
+
+    _instance: "NullValue | None" = None
+
+    def __new__(cls) -> "NullValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __hash__(self) -> int:
+        return hash("repro.NULL")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullValue)
+
+    def __bool__(self) -> bool:
+        # NULL must never be silently used as a truth value; predicates
+        # decide explicitly via ``is_null``.
+        raise TypeError("NULL has no truth value; test with is_null() instead")
+
+
+NULL = NullValue()
+
+
+def is_null(value: Any) -> bool:
+    """Return True iff *value* is the distinguished NULL value."""
+    return isinstance(value, NullValue)
+
+
+class Record(Mapping[str, Any]):
+    """An immutable record (the calculus' tuple ``(A1=e1, ..., An=en)``).
+
+    Attributes are accessed by projection (``record["name"]`` or
+    ``record.get``).  Records compare and hash structurally, so they can be
+    set elements and grouping keys.
+
+    >>> r = Record(name="Smith", age=40)
+    >>> r["name"]
+    'Smith'
+    >>> r == Record(age=40, name="Smith")
+    True
+    """
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, _fields: Mapping[str, Any] | None = None, **kwargs: Any):
+        fields: dict[str, Any] = dict(_fields) if _fields else {}
+        fields.update(kwargs)
+        object.__setattr__(self, "_fields", fields)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Record is immutable")
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise KeyError(
+                f"record has no attribute {name!r}; attributes are "
+                f"{sorted(self._fields)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def attributes(self) -> tuple[str, ...]:
+        """The record's attribute names, sorted."""
+        return tuple(sorted(self._fields))
+
+    def with_field(self, name: str, value: Any) -> "Record":
+        """A copy of this record with attribute *name* set to *value*."""
+        fields = dict(self._fields)
+        fields[name] = value
+        return Record(fields)
+
+    # -- structural equality ----------------------------------------------
+
+    def _key(self) -> tuple[tuple[str, Any], ...]:
+        return tuple(sorted(self._fields.items(), key=lambda kv: kv[0]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._key())
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._key())
+        return f"<{inner}>"
+
+
+class CollectionValue:
+    """Base class for the three collection kinds (set, bag, list)."""
+
+    __slots__ = ()
+
+    def elements(self) -> Iterator[Any]:
+        """Iterate over the elements *with* multiplicity."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.elements()
+
+
+class SetValue(CollectionValue):
+    """An immutable set — the carrier of the paper's set monoid (∪, {})."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        object.__setattr__(self, "_items", frozenset(items))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("SetValue is immutable")
+
+    def elements(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._items
+
+    def union(self, other: "SetValue") -> "SetValue":
+        return SetValue(self._items | other._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetValue):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(("set", self._items))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in _stable_order(self._items))
+        return "{" + inner + "}"
+
+
+class BagValue(CollectionValue):
+    """An immutable bag (multiset) — carrier of the bag monoid (⊎, {{}})."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        counts: dict[Any, int] = {}
+        if isinstance(items, BagValue):
+            counts = dict(items._counts)
+        else:
+            for item in items:
+                counts[item] = counts.get(item, 0) + 1
+        object.__setattr__(self, "_counts", counts)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("BagValue is immutable")
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Any, int]) -> "BagValue":
+        bag = cls()
+        object.__setattr__(bag, "_counts", {k: v for k, v in counts.items() if v > 0})
+        return bag
+
+    def count(self, value: Any) -> int:
+        """Multiplicity of *value* in the bag."""
+        return self._counts.get(value, 0)
+
+    def elements(self) -> Iterator[Any]:
+        for value, count in self._counts.items():
+            for _ in range(count):
+                yield value
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._counts
+
+    def additive_union(self, other: "BagValue") -> "BagValue":
+        counts = dict(self._counts)
+        for value, count in other._counts.items():
+            counts[value] = counts.get(value, 0) + count
+        return BagValue.from_counts(counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BagValue):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(("bag", frozenset(self._counts.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in _stable_order(list(self.elements())))
+        return "{{" + inner + "}}"
+
+
+class ListValue(CollectionValue):
+    """An immutable list — carrier of the list monoid (++, [])."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        object.__setattr__(self, "_items", tuple(items))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ListValue is immutable")
+
+    def elements(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._items[index]
+
+    def concat(self, other: "ListValue") -> "ListValue":
+        return ListValue(self._items + other._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ListValue):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(("list", self._items))
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(v) for v in self._items) + "]"
+
+
+def _stable_order(items: Iterable[Any]) -> list[Any]:
+    """Order arbitrary hashable values deterministically (for repr only)."""
+    return sorted(items, key=lambda v: (str(type(v).__name__), repr(v)))
+
+
+def is_collection(value: Any) -> bool:
+    """True iff *value* is one of the three collection kinds."""
+    return isinstance(value, CollectionValue)
+
+
+def ensure_hashable(value: Any) -> Any:
+    """Validate that *value* can live inside sets / grouping keys.
+
+    Raises TypeError for unhashable values; returns the value unchanged.
+    """
+    if not isinstance(value, Hashable):
+        raise TypeError(f"value of type {type(value).__name__} is not hashable")
+    hash(value)
+    return value

@@ -1,0 +1,16 @@
+"""The physical execution engine: iterator-model operators, the physical
+planner (hash vs. nested-loop algorithm assignment, index access paths),
+the cost model, and the measured executor."""
+
+from repro.engine.cost import CostModel
+from repro.engine.executor import ExecutionStats, run_with_stats
+from repro.engine.planner import PlannerOptions, execute, plan_physical
+
+__all__ = [
+    "CostModel",
+    "ExecutionStats",
+    "PlannerOptions",
+    "execute",
+    "plan_physical",
+    "run_with_stats",
+]

@@ -1,0 +1,199 @@
+"""A simple cardinality/cost model for logical plans.
+
+Used by the optimizer's join-permutation phase (Section 6: "48 lines for
+various algebraic optimizations (including permutation of joins)").  The
+model is deliberately textbook-simple: extent cardinalities from the
+database when available, fixed selectivities per predicate shape, and a
+work metric that charges nested-loop joins the product of their input sizes
+and hash joins the sum.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    Eval,
+    Join,
+    Map,
+    Nest,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Reduce,
+    Scan,
+    Seed,
+    Select,
+    Unnest,
+)
+from repro.calculus.terms import BinOp, Comprehension, Term, conjuncts, subterms
+
+#: Default selectivity per predicate shape.
+_EQUALITY_SELECTIVITY = 0.1
+_COMPARISON_SELECTIVITY = 0.4
+_DEFAULT_SELECTIVITY = 0.5
+
+#: Assumed average number of elements of an unnested collection.
+_DEFAULT_FANOUT = 4.0
+
+#: Assumed extent size when no database statistics are available.
+_DEFAULT_EXTENT_SIZE = 1000.0
+
+
+class CostModel:
+    """Estimates cardinalities and work for logical plans."""
+
+    def __init__(self, database=None):
+        self._database = database
+
+    # -- statistics ------------------------------------------------------------
+
+    def extent_cardinality(self, name: str) -> float:
+        if self._database is not None and self._database.has_extent(name):
+            return float(max(self._database.cardinality(name), 1))
+        return _DEFAULT_EXTENT_SIZE
+
+    def selectivity(self, pred: Term) -> float:
+        """The estimated fraction of tuples satisfying *pred*."""
+        result = 1.0
+        for part in conjuncts(pred):
+            if isinstance(part, BinOp) and part.op == "==":
+                result *= _EQUALITY_SELECTIVITY
+            elif isinstance(part, BinOp) and part.op in ("<", "<=", ">", ">="):
+                result *= _COMPARISON_SELECTIVITY
+            else:
+                result *= _DEFAULT_SELECTIVITY
+        return max(result, 1e-6)
+
+    def _selection_selectivity(self, plan: "Select") -> float:
+        """Selectivity of a selection, using ANALYZE statistics when the
+        child is a scan and the conjunct is an equality on an analyzed
+        attribute (selectivity 1/ndv, the textbook estimate)."""
+        from repro.calculus.terms import Proj, Var
+
+        child = plan.child
+        scan_var = child.var if isinstance(child, Scan) else None
+        result = 1.0
+        for part in conjuncts(plan.pred):
+            estimated = None
+            if (
+                scan_var is not None
+                and self._database is not None
+                and isinstance(part, BinOp)
+                and part.op == "=="
+            ):
+                for side in (part.left, part.right):
+                    if isinstance(side, Proj) and side.expr == Var(scan_var):
+                        ndv = getattr(self._database, "distinct_count", lambda *a: None)(
+                            child.extent, side.attr
+                        )
+                        if ndv:
+                            estimated = 1.0 / ndv
+                            break
+            result *= estimated if estimated is not None else self.selectivity(part)
+        return max(result, 1e-6)
+
+    # -- cardinality -------------------------------------------------------------
+
+    def cardinality(self, plan: Operator) -> float:
+        """Estimated number of environments *plan* produces."""
+        if isinstance(plan, Seed):
+            return 1.0
+        if isinstance(plan, Scan):
+            return self.extent_cardinality(plan.extent)
+        if isinstance(plan, Select):
+            return self.cardinality(plan.child) * self._selection_selectivity(plan)
+        if isinstance(plan, Map):
+            return self.cardinality(plan.child)
+        if isinstance(plan, Join):
+            return (
+                self.cardinality(plan.left)
+                * self.cardinality(plan.right)
+                * self.selectivity(plan.pred)
+            )
+        if isinstance(plan, OuterJoin):
+            inner = (
+                self.cardinality(plan.left)
+                * self.cardinality(plan.right)
+                * self.selectivity(plan.pred)
+            )
+            # Every left tuple survives an outer-join.
+            return max(inner, self.cardinality(plan.left))
+        if isinstance(plan, (Unnest, OuterUnnest)):
+            fanout = _DEFAULT_FANOUT * self.selectivity(plan.pred)
+            estimate = self.cardinality(plan.child) * fanout
+            if isinstance(plan, OuterUnnest):
+                return max(estimate, self.cardinality(plan.child))
+            return estimate
+        if isinstance(plan, Nest):
+            # Roughly one group per distinct group-by combination; assume
+            # moderate collapse.
+            return max(self.cardinality(plan.child) * 0.25, 1.0)
+        if isinstance(plan, (Reduce, Eval)):
+            return 1.0
+        raise TypeError(f"cannot estimate {type(plan).__name__}")
+
+    # -- work --------------------------------------------------------------------
+
+    def cost(self, plan: Operator) -> float:
+        """Estimated total work (tuples touched) to evaluate *plan*.
+
+        Nested comprehension terms appearing in operator parameters are
+        charged per driving tuple, which is what makes naive nested plans
+        expensive under this model — mirroring their actual behaviour.
+        """
+        if isinstance(plan, Seed):
+            return 1.0
+        if isinstance(plan, Scan):
+            return self.extent_cardinality(plan.extent)
+        if isinstance(plan, Select):
+            per_tuple = 1.0 + self._embedded_cost(plan.pred)
+            return self.cost(plan.child) + self.cardinality(plan.child) * per_tuple
+        if isinstance(plan, Map):
+            per_tuple = 1.0 + sum(self._embedded_cost(e) for _, e in plan.bindings)
+            return self.cost(plan.child) + self.cardinality(plan.child) * per_tuple
+        if isinstance(plan, (Join, OuterJoin)):
+            left_card = self.cardinality(plan.left)
+            right_card = self.cardinality(plan.right)
+            from repro.engine.planner import split_equi_conjuncts
+
+            keys, _ = split_equi_conjuncts(
+                plan.pred, plan.left.columns(), plan.right.columns()
+            )
+            if keys:
+                probe = left_card + right_card
+            else:
+                probe = left_card * right_card
+            return self.cost(plan.left) + self.cost(plan.right) + probe
+        if isinstance(plan, (Unnest, OuterUnnest)):
+            return self.cost(plan.child) + self.cardinality(plan)
+        if isinstance(plan, Nest):
+            per_tuple = 1.0 + self._embedded_cost(plan.head)
+            return self.cost(plan.child) + self.cardinality(plan.child) * per_tuple
+        if isinstance(plan, (Reduce, Eval)):
+            child = plan.children()[0]
+            expr = plan.head if isinstance(plan, Reduce) else plan.expr
+            per_tuple = 1.0 + self._embedded_cost(expr)
+            if isinstance(plan, Reduce):
+                per_tuple += self._embedded_cost(plan.pred)
+            return self.cost(child) + self.cardinality(child) * per_tuple
+        raise TypeError(f"cannot cost {type(plan).__name__}")
+
+    def _embedded_cost(self, term: Term) -> float:
+        """Cost of nested comprehensions evaluated per driving tuple."""
+        total = 0.0
+        for sub in subterms(term):
+            if isinstance(sub, Comprehension):
+                total += self._comprehension_cost(sub)
+                break  # inner comprehensions are counted by the recursion
+        return total
+
+    def _comprehension_cost(self, comp: Comprehension) -> float:
+        from repro.calculus.terms import Extent, Generator
+
+        size = 1.0
+        for qualifier in comp.qualifiers:
+            if isinstance(qualifier, Generator):
+                if isinstance(qualifier.domain, Extent):
+                    size *= self.extent_cardinality(qualifier.domain.name)
+                else:
+                    size *= _DEFAULT_FANOUT
+        return size + self._embedded_cost(comp.head) * size

@@ -1,0 +1,72 @@
+"""Execution driver with per-operator statistics (EXPLAIN ANALYZE style).
+
+Wraps the physical planner: runs a logical plan and reports, per physical
+operator, the rows it produced and the plan-wide totals, plus wall time.
+The benchmarks use the row counts as a machine-independent work metric (the
+same role the paper's stream lengths play in its operator discussion).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.operators import Operator
+from repro.calculus.evaluator import ExtentProvider
+from repro.engine.planner import PlannerOptions, plan_physical
+from repro.engine.physical import PEval, PReduce, PhysicalOperator
+
+
+@dataclass
+class OperatorStats:
+    """Row production of one physical operator."""
+
+    operator: str
+    rows_produced: int
+    depth: int
+
+
+@dataclass
+class ExecutionStats:
+    """The outcome of one measured execution."""
+
+    result: Any
+    elapsed_ms: float
+    operators: list[OperatorStats] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(op.rows_produced for op in self.operators)
+
+    def report(self) -> str:
+        """An EXPLAIN ANALYZE style rendering."""
+        lines = [f"execution: {self.elapsed_ms:.3f} ms, {self.total_rows} rows"]
+        for op in self.operators:
+            lines.append(f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}]")
+        return "\n".join(lines)
+
+
+def run_with_stats(
+    plan: Operator,
+    database: ExtentProvider,
+    options: PlannerOptions | None = None,
+) -> ExecutionStats:
+    """Plan, execute, and collect per-operator statistics."""
+    physical = plan_physical(plan, database, options)
+    if not isinstance(physical, (PReduce, PEval)):
+        raise TypeError("a complete plan must be rooted at Reduce or Eval")
+    start = time.perf_counter()
+    result = physical.value()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    stats = ExecutionStats(result=result, elapsed_ms=elapsed_ms)
+    _collect(physical, 0, stats)
+    return stats
+
+
+def _collect(op: PhysicalOperator, depth: int, stats: ExecutionStats) -> None:
+    stats.operators.append(
+        OperatorStats(op.describe(), op.rows_produced, depth)
+    )
+    for child in op.children():
+        _collect(child, depth + 1, stats)

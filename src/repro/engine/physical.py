@@ -1,0 +1,541 @@
+"""Physical (executable) operators — the iterator-model engine.
+
+The paper's prototype translates algebraic forms into "physical plans that
+are evaluated in memory" (Section 6).  This module provides those physical
+algorithms:
+
+* pipelined scan / select / map / unnest operators;
+* **nested-loop** and **hash** implementations of join and left outer-join
+  (the planner picks hash when it can extract equi-join keys — the very
+  optimization the paper says unnesting enables for QUERY E);
+* hash-based grouping for the nest operator (single pass);
+* streaming reduce with quantifier short-circuiting.
+
+Each operator exposes ``rows()`` (an iterator of environments) and counts
+the tuples it produces, so executions can be compared by work performed as
+well as by wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.calculus.evaluator import EvaluationError, Evaluator as TermEvaluator, ExtentProvider
+from repro.calculus.monoids import CollectionMonoid, Monoid
+from repro.calculus.terms import Const, Term
+from repro.data.values import NULL, CollectionValue, is_null
+
+Env = dict[str, Any]
+
+
+class PhysicalOperator:
+    """Base class: a restartable stream of environments."""
+
+    def __init__(self) -> None:
+        self.rows_produced = 0
+
+    def rows(self) -> Iterator[Env]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def name(self) -> str:
+        return type(self).__name__.removeprefix("P")
+
+    def explain(self, indent: int = 0) -> str:
+        """An EXPLAIN-style rendering of the physical plan."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return self.name()
+
+    def total_rows(self) -> int:
+        """Rows produced by this operator and everything below it."""
+        return self.rows_produced + sum(c.total_rows() for c in self.children())
+
+
+class _Context:
+    """Shared per-execution state: the database and a term evaluator."""
+
+    def __init__(self, database: ExtentProvider):
+        self.database = database
+        self._terms = TermEvaluator(database)
+
+    def value(self, term: Term, env: Env) -> Any:
+        return self._terms.evaluate(term, env)
+
+    def holds(self, pred: Term, env: Env) -> bool:
+        result = self.value(pred, env)
+        if result is True:
+            return True
+        if result is False or is_null(result):
+            return False
+        raise EvaluationError("predicate did not evaluate to a boolean")
+
+
+class PScan(PhysicalOperator):
+    """Sequential scan of a class extent."""
+
+    def __init__(self, context: _Context, extent: str, var: str):
+        super().__init__()
+        self._context = context
+        self.extent = extent
+        self.var = var
+
+    def rows(self) -> Iterator[Env]:
+        for obj in self._context.database.extent(self.extent):
+            self.rows_produced += 1
+            yield {self.var: obj}
+
+    def describe(self) -> str:
+        return f"Scan({self.var} <- {self.extent})"
+
+
+class PIndexScan(PhysicalOperator):
+    """Index access path: fetch only the objects whose indexed attribute
+    equals a constant key ("choosing access paths", paper Section 6).
+
+    The key expression must be closed (no free range variables); it is
+    evaluated once per execution.
+    """
+
+    def __init__(
+        self, context: _Context, extent: str, var: str, attr: str, key: Term
+    ):
+        super().__init__()
+        self._context = context
+        self.extent = extent
+        self.var = var
+        self.attr = attr
+        self.key = key
+
+    def rows(self) -> Iterator[Env]:
+        value = self._context.value(self.key, {})
+        database = self._context.database
+        for obj in database.index_lookup(self.extent, self.attr, value):
+            self.rows_produced += 1
+            yield {self.var: obj}
+
+    def describe(self) -> str:
+        return f"IndexScan({self.var} <- {self.extent} on {self.attr} = {self.key})"
+
+
+class PSeed(PhysicalOperator):
+    """The singleton empty-environment stream."""
+
+    def rows(self) -> Iterator[Env]:
+        self.rows_produced += 1
+        yield {}
+
+
+class PSelect(PhysicalOperator):
+    """Pipelined selection."""
+
+    def __init__(self, context: _Context, child: PhysicalOperator, pred: Term):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.pred = pred
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:
+        for env in self.child.rows():
+            if self._context.holds(self.pred, env):
+                self.rows_produced += 1
+                yield env
+
+    def describe(self) -> str:
+        return f"Select({self.pred})"
+
+
+class PMap(PhysicalOperator):
+    """Pipelined computed-column extension."""
+
+    def __init__(
+        self,
+        context: _Context,
+        child: PhysicalOperator,
+        bindings: tuple[tuple[str, Term], ...],
+    ):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.bindings = bindings
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:
+        for env in self.child.rows():
+            extended = dict(env)
+            for name, expr in self.bindings:
+                extended[name] = self._context.value(expr, extended)
+            self.rows_produced += 1
+            yield extended
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{n}={e}" for n, e in self.bindings)
+        return f"Map({inner})"
+
+
+class PNestedLoopJoin(PhysicalOperator):
+    """Block nested-loop (outer-)join: the fallback join algorithm."""
+
+    def __init__(
+        self,
+        context: _Context,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        pred: Term,
+        right_columns: tuple[str, ...],
+        outer: bool,
+    ):
+        super().__init__()
+        self._context = context
+        self.left = left
+        self.right = right
+        self.pred = pred
+        self.right_columns = right_columns
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Env]:
+        right_rows = list(self.right.rows())
+        padding = {col: NULL for col in self.right_columns}
+        for left_env in self.left.rows():
+            matched = False
+            for right_env in right_rows:
+                env = {**left_env, **right_env}
+                if self._context.holds(self.pred, env):
+                    matched = True
+                    self.rows_produced += 1
+                    yield env
+            if self.outer and not matched:
+                self.rows_produced += 1
+                yield {**left_env, **padding}
+
+    def describe(self) -> str:
+        kind = "OuterNLJoin" if self.outer else "NLJoin"
+        return f"{kind}({self.pred})"
+
+
+class PHashJoin(PhysicalOperator):
+    """Hash (outer-)join on extracted equi-keys, with a residual predicate."""
+
+    def __init__(
+        self,
+        context: _Context,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: tuple[Term, ...],
+        right_keys: tuple[Term, ...],
+        residual: Term,
+        right_columns: tuple[str, ...],
+        outer: bool,
+    ):
+        super().__init__()
+        self._context = context
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.right_columns = right_columns
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Env]:
+        table: dict[tuple[Any, ...], list[Env]] = {}
+        for right_env in self.right.rows():
+            key = tuple(
+                self._context.value(k, right_env) for k in self.right_keys
+            )
+            table.setdefault(key, []).append(right_env)
+        padding = {col: NULL for col in self.right_columns}
+        for left_env in self.left.rows():
+            key = tuple(self._context.value(k, left_env) for k in self.left_keys)
+            matched = False
+            if not any(is_null(part) for part in key):
+                for right_env in table.get(key, ()):
+                    env = {**left_env, **right_env}
+                    if self._context.holds(self.residual, env):
+                        matched = True
+                        self.rows_produced += 1
+                        yield env
+            if self.outer and not matched:
+                self.rows_produced += 1
+                yield {**left_env, **padding}
+
+    def describe(self) -> str:
+        kind = "HashOuterJoin" if self.outer else "HashJoin"
+        keys = ", ".join(
+            f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        if self.residual != Const(True):
+            return f"{kind}({keys}; residual {self.residual})"
+        return f"{kind}({keys})"
+
+
+class PMergeJoin(PhysicalOperator):
+    """Sort-merge (outer-)join on a single totally-ordered equi-key.
+
+    Both inputs are materialized and sorted by their key expression, then
+    merged; duplicate key runs produce the cross product of the runs.  Keys
+    must be mutually orderable (numbers or strings) — the planner only
+    selects this algorithm when asked to (``PlannerOptions.merge_joins``).
+    """
+
+    def __init__(
+        self,
+        context: _Context,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_key: Term,
+        right_key: Term,
+        residual: Term,
+        right_columns: tuple[str, ...],
+        outer: bool,
+    ):
+        super().__init__()
+        self._context = context
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.right_columns = right_columns
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Env]:
+        left_rows = [
+            (self._context.value(self.left_key, env), env)
+            for env in self.left.rows()
+        ]
+        right_rows = [
+            (self._context.value(self.right_key, env), env)
+            for env in self.right.rows()
+        ]
+        right_rows = [(k, env) for k, env in right_rows if not is_null(k)]
+        right_rows.sort(key=lambda kv: kv[0])
+        nullish = [(k, env) for k, env in left_rows if is_null(k)]
+        sortable = [(k, env) for k, env in left_rows if not is_null(k)]
+        sortable.sort(key=lambda kv: kv[0])
+        padding = {col: NULL for col in self.right_columns}
+
+        index = 0
+        for key, left_env in sortable:
+            while index < len(right_rows) and right_rows[index][0] < key:
+                index += 1
+            matched = False
+            probe = index
+            while probe < len(right_rows) and right_rows[probe][0] == key:
+                env = {**left_env, **right_rows[probe][1]}
+                if self._context.holds(self.residual, env):
+                    matched = True
+                    self.rows_produced += 1
+                    yield env
+                probe += 1
+            if self.outer and not matched:
+                self.rows_produced += 1
+                yield {**left_env, **padding}
+        if self.outer:
+            for _, left_env in nullish:
+                self.rows_produced += 1
+                yield {**left_env, **padding}
+
+    def describe(self) -> str:
+        kind = "MergeOuterJoin" if self.outer else "MergeJoin"
+        return f"{kind}({self.left_key} = {self.right_key})"
+
+
+class PUnnest(PhysicalOperator):
+    """Pipelined (outer-)unnest of a collection-valued path."""
+
+    def __init__(
+        self,
+        context: _Context,
+        child: PhysicalOperator,
+        path: Term,
+        var: str,
+        pred: Term,
+        outer: bool,
+    ):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.path = path
+        self.var = var
+        self.pred = pred
+        self.outer = outer
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:
+        for env in self.child.rows():
+            value = self._context.value(self.path, env)
+            matched = False
+            if not is_null(value):
+                if not isinstance(value, CollectionValue):
+                    raise EvaluationError(
+                        f"unnest path evaluated to {type(value).__name__}"
+                    )
+                for element in value.elements():
+                    extended = {**env, self.var: element}
+                    if self._context.holds(self.pred, extended):
+                        matched = True
+                        self.rows_produced += 1
+                        yield extended
+            if self.outer and not matched:
+                self.rows_produced += 1
+                yield {**env, self.var: NULL}
+
+    def describe(self) -> str:
+        kind = "OuterUnnest" if self.outer else "Unnest"
+        return f"{kind}({self.var} <- {self.path})"
+
+
+class PHashNest(PhysicalOperator):
+    """Hash-based grouping implementation of the nest operator."""
+
+    def __init__(
+        self,
+        context: _Context,
+        child: PhysicalOperator,
+        monoid: Monoid,
+        head: Term,
+        group_by: tuple[str, ...],
+        null_vars: tuple[str, ...],
+        out_var: str,
+        pred: Term,
+    ):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.monoid = monoid
+        self.head = head
+        self.group_by = group_by
+        self.null_vars = null_vars
+        self.out_var = out_var
+        self.pred = pred
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:
+        monoid = self.monoid
+        groups: dict[tuple[Any, ...], Any] = {}
+        order: list[tuple[Any, ...]] = []
+        group_envs: dict[tuple[Any, ...], Env] = {}
+        for env in self.child.rows():
+            key = tuple(env[col] for col in self.group_by)
+            if key not in groups:
+                groups[key] = monoid.zero
+                order.append(key)
+                group_envs[key] = {col: env[col] for col in self.group_by}
+            if any(is_null(env[col]) for col in self.null_vars):
+                continue
+            if not self._context.holds(self.pred, env):
+                continue
+            value = self._context.value(self.head, env)
+            if isinstance(monoid, CollectionMonoid):
+                groups[key] = monoid.merge(groups[key], monoid.unit(value))
+            elif not is_null(value):
+                groups[key] = monoid.merge(groups[key], monoid.lift(value))
+        collection = isinstance(monoid, CollectionMonoid)
+        for key in order:
+            result = groups[key] if collection else monoid.finalize(groups[key])
+            self.rows_produced += 1
+            yield {**group_envs[key], self.out_var: result}
+
+    def describe(self) -> str:
+        group = ",".join(self.group_by) or "()"
+        return f"HashNest({self.monoid.name} -> {self.out_var} by {group})"
+
+
+class PReduce(PhysicalOperator):
+    """Streaming reduce; short-circuits the boolean quantifier monoids."""
+
+    def __init__(
+        self,
+        context: _Context,
+        child: PhysicalOperator,
+        monoid: Monoid,
+        head: Term,
+        pred: Term,
+    ):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.monoid = monoid
+        self.head = head
+        self.pred = pred
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:  # pragma: no cover - roots use value()
+        yield {"__result": self.value()}
+
+    def value(self) -> Any:
+        monoid = self.monoid
+        result = monoid.zero
+        collection = isinstance(monoid, CollectionMonoid)
+        for env in self.child.rows():
+            if not self._context.holds(self.pred, env):
+                continue
+            head = self._context.value(self.head, env)
+            if collection:
+                result = monoid.merge(result, monoid.unit(head))
+                continue
+            if is_null(head):
+                continue
+            result = monoid.merge(result, monoid.lift(head))
+            if monoid.name == "all" and result is False:
+                return False
+            if monoid.name == "some" and result is True:
+                return True
+        return result if collection else monoid.finalize(result)
+
+    def describe(self) -> str:
+        return f"Reduce({self.monoid.name} / {self.head})"
+
+
+class PEval(PhysicalOperator):
+    """Root for non-comprehension queries: expression over one tuple."""
+
+    def __init__(self, context: _Context, child: PhysicalOperator, expr: Term):
+        super().__init__()
+        self._context = context
+        self.child = child
+        self.expr = expr
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Env]:  # pragma: no cover - roots use value()
+        yield {"__result": self.value()}
+
+    def value(self) -> Any:
+        envs = list(self.child.rows())
+        if len(envs) != 1:
+            raise EvaluationError(
+                f"Eval root expected exactly one row, got {len(envs)}"
+            )
+        return self._context.value(self.expr, envs[0])
+
+    def describe(self) -> str:
+        return f"Eval({self.expr})"

@@ -1,0 +1,17 @@
+"""The ODMG OQL front-end: lexer, parser, AST, and calculus translation."""
+
+from repro.oql.lexer import OQLSyntaxError, Token, tokenize
+from repro.oql.parser import parse
+from repro.oql.pretty import unparse
+from repro.oql.translator import TranslationError, parse_and_translate, translate
+
+__all__ = [
+    "OQLSyntaxError",
+    "Token",
+    "TranslationError",
+    "parse",
+    "unparse",
+    "parse_and_translate",
+    "tokenize",
+    "translate",
+]

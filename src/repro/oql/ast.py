@@ -1,0 +1,162 @@
+"""Abstract syntax for the OQL subset (paper Section 1.1 examples).
+
+These nodes mirror the surface language; the translation to the monoid
+calculus lives in :mod:`repro.oql.translator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Node:
+    """Base class for all OQL AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: int, float, string, bool, or None (OQL ``nil``)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    """An identifier: a range variable or an extent name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Path(Node):
+    """Attribute navigation ``base.attr``."""
+
+    base: Node
+    attr: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """``not e`` or ``- e``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """A binary operation: arithmetic, comparison, and/or."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class InCollection(Node):
+    """Membership test ``e in collection``."""
+
+    element: Node
+    collection: Node
+
+
+@dataclass(frozen=True)
+class Struct(Node):
+    """``struct( A: e1, B: e2, ... )``."""
+
+    fields: tuple[tuple[str, Node], ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """``count/sum/avg/max/min ( argument )``."""
+
+    function: str  # count | sum | avg | max | min
+    argument: Node
+
+
+@dataclass(frozen=True)
+class SetOp(Node):
+    """A set operation between two queries: union, except, or intersect.
+
+    ODMG set operations; this subset gives them *set* (distinct) semantics.
+    """
+
+    op: str  # "union" | "except" | "intersect"
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Define(Node):
+    """``define name as query`` — a named view (ODMG OQL)."""
+
+    name: str
+    query: "Node"
+
+
+@dataclass(frozen=True)
+class Flatten(Node):
+    """``flatten( e )`` — merge a collection of collections (ODMG OQL)."""
+
+    argument: Node
+
+
+@dataclass(frozen=True)
+class Exists(Node):
+    """``exists v in domain: predicate``."""
+
+    var: str
+    domain: Node
+    predicate: Node
+
+
+@dataclass(frozen=True)
+class ForAll(Node):
+    """``for all v in domain: predicate``."""
+
+    var: str
+    domain: Node
+    predicate: Node
+
+
+@dataclass(frozen=True)
+class FromClause(Node):
+    """One generator of a from-list: ``var in domain`` / ``domain [as] var``."""
+
+    var: str
+    domain: Node
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One projection item, optionally aliased (``expr as alias``)."""
+
+    expr: Node
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key: an expression over the *result element* (its
+    projection aliases, or ``value`` for single-expression selects) and a
+    direction."""
+
+    expr: Node
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A select-from-where[-group-by[-having]][-order-by] query block."""
+
+    distinct: bool
+    items: tuple[SelectItem, ...]
+    from_clauses: tuple[FromClause, ...]
+    where: Node | None = None
+    group_by: tuple[Node, ...] = ()
+    having: Node | None = None
+    order_by: tuple[OrderItem, ...] = ()

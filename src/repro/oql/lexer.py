@@ -1,0 +1,139 @@
+"""Lexer for the ODMG OQL subset used by the paper's examples.
+
+Keywords are case-insensitive (the paper writes them lowercase); identifiers
+are case-sensitive.  String literals use double quotes, as in the paper's
+``c.name = "Arlington"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "in",
+        "as",
+        "group",
+        "by",
+        "having",
+        "order",
+        "asc",
+        "desc",
+        "exists",
+        "for",
+        "all",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "nil",
+        "struct",
+        "count",
+        "sum",
+        "avg",
+        "max",
+        "min",
+        "flatten",
+        "define",
+        "union",
+        "except",
+        "intersect",
+    }
+)
+
+#: Multi- and single-character symbols, longest first.
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".", ":", "+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'int', 'float',
+    'string', 'symbol', or 'eof'."""
+
+    kind: str
+    value: str
+    position: int  # character offset, for error messages
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+class OQLSyntaxError(SyntaxError):
+    """A lexical or syntactic error in an OQL query."""
+
+    def __init__(self, message: str, source: str, position: int):
+        line = source.count("\n", 0, position) + 1
+        column = position - (source.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize an OQL query, ending with an 'eof' token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        if source.startswith("--", index):  # line comment
+            newline = source.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end == -1:
+                raise OQLSyntaxError("unterminated string literal", source, index)
+            tokens.append(Token("string", source[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit():
+            index = _lex_number(source, index, tokens)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("keyword", word.lower(), start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("symbol", value, index))
+                index += len(symbol)
+                break
+        else:
+            raise OQLSyntaxError(f"unexpected character {char!r}", source, index)
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _lex_number(source: str, index: int, tokens: list[Token]) -> int:
+    start = index
+    length = len(source)
+    while index < length and source[index].isdigit():
+        index += 1
+    is_float = False
+    if (
+        index + 1 < length
+        and source[index] == "."
+        and source[index + 1].isdigit()
+    ):
+        is_float = True
+        index += 1
+        while index < length and source[index].isdigit():
+            index += 1
+    kind = "float" if is_float else "int"
+    tokens.append(Token(kind, source[start:index], start))
+    return index

@@ -1,0 +1,166 @@
+"""Unparser: render an OQL AST back to query text.
+
+``parse(unparse(ast)) == ast`` — the round-trip property the test suite
+checks over every corpus query.  Useful for logging, for the CLI, and for
+generating regression corpora.
+"""
+
+from __future__ import annotations
+
+from repro.oql.ast import (
+    Aggregate,
+    BinaryOp,
+    Define,
+    Exists,
+    Flatten,
+    ForAll,
+    InCollection,
+    Literal,
+    Name,
+    Node,
+    OrderItem,
+    Path,
+    Select,
+    SelectItem,
+    SetOp,
+    Struct,
+    UnaryOp,
+)
+
+#: Binding strength, loosest first; used to decide parenthesization.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3, "==": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5,
+}
+
+
+def unparse(node: Node) -> str:
+    """Render *node* as parseable OQL text."""
+    if isinstance(node, Define):
+        return f"define {node.name} as {_unparse(node.query, -1)}"
+    return _unparse(node, -1)
+
+
+def _unparse(node: Node, parent_precedence: int) -> str:
+    if isinstance(node, Literal):
+        return _literal(node)
+    if isinstance(node, Name):
+        return node.name
+    if isinstance(node, Path):
+        return f"{_unparse(node.base, 10)}.{node.attr}"
+    if isinstance(node, UnaryOp):
+        if node.op == "not":
+            # 'not' takes a comparison-level operand, so looser operands
+            # (and/or, quantifiers) must be parenthesized.
+            return _wrap(f"not {_unparse(node.operand, 3)}", 3, parent_precedence)
+        return _wrap(f"-{_unparse(node.operand, 6)}", 6, parent_precedence)
+    if isinstance(node, BinaryOp):
+        op = "=" if node.op == "==" else node.op
+        precedence = _PRECEDENCE[op]
+        text = (
+            f"{_unparse(node.left, precedence)} {op} "
+            f"{_unparse(node.right, precedence + 1)}"
+        )
+        return _wrap(text, precedence, parent_precedence)
+    if isinstance(node, InCollection):
+        text = f"{_unparse(node.element, 4)} in {_unparse(node.collection, 4)}"
+        return _wrap(text, 3, parent_precedence)
+    if isinstance(node, Struct):
+        inner = ", ".join(f"{n}: {_unparse(e, 0)}" for n, e in node.fields)
+        return f"struct( {inner} )"
+    if isinstance(node, Aggregate):
+        return f"{node.function}( {_unparse(node.argument, 0)} )"
+    if isinstance(node, Flatten):
+        return f"flatten( {_unparse(node.argument, 0)} )"
+    if isinstance(node, Exists):
+        if node.var == "__element" and node.predicate == Literal(True):
+            return f"exists( {_unparse(node.domain, 0)} )"
+        text = (
+            f"exists {node.var} in {_unparse(node.domain, 4)}: "
+            f"{_unparse(node.predicate, 1)}"
+        )
+        return _wrap(text, 1, parent_precedence)
+    if isinstance(node, ForAll):
+        text = (
+            f"for all {node.var} in {_unparse(node.domain, 4)}: "
+            f"{_unparse(node.predicate, 1)}"
+        )
+        return _wrap(text, 1, parent_precedence)
+    if isinstance(node, Select):
+        return _wrap_select(_select(node), parent_precedence)
+    if isinstance(node, SetOp):
+        text = (
+            f"{_unparse(node.left, 0)} {node.op} "
+            f"{_unparse(node.right, 1)}"
+        )
+        return _wrap_select(text, parent_precedence)
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def _literal(node: Literal) -> str:
+    value = node.value
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def _select(node: Select) -> str:
+    parts = ["select"]
+    if node.distinct:
+        parts.append("distinct")
+    parts.append(", ".join(_item(item) for item in node.items))
+    parts.append("from")
+    parts.append(
+        ", ".join(
+            f"{clause.var} in {_unparse(clause.domain, 4)}"
+            for clause in node.from_clauses
+        )
+    )
+    if node.where is not None:
+        parts.append("where")
+        parts.append(_unparse(node.where, 0))
+    if node.group_by:
+        parts.append("group by")
+        parts.append(", ".join(_unparse(g, 0) for g in node.group_by))
+    if node.having is not None:
+        parts.append("having")
+        parts.append(_unparse(node.having, 0))
+    if node.order_by:
+        parts.append("order by")
+        parts.append(", ".join(_order_item(item) for item in node.order_by))
+    return " ".join(parts)
+
+
+def _item(item: SelectItem) -> str:
+    text = _unparse(item.expr, 0)
+    if item.alias:
+        return f"{text} as {item.alias}"
+    return text
+
+
+def _order_item(item: OrderItem) -> str:
+    direction = "" if item.ascending else " desc"
+    return f"{_unparse(item.expr, 0)}{direction}"
+
+
+def _wrap(text: str, precedence: int, parent_precedence: int) -> str:
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _wrap_select(text: str, parent_precedence: int) -> str:
+    # A select used as an operand (anywhere but the top level) must be
+    # parenthesized.
+    if parent_precedence >= 0:
+        return f"( {text} )"
+    return text

@@ -1,0 +1,60 @@
+"""Shared fixtures: one database per family, at a size small enough for the
+naive nested-loop baseline to stay fast but large enough to exercise the
+NULL-padding paths (empty departments, childless employees, students with
+no transcript entries)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.data.database import Database
+from repro.data.datagen import (
+    ab_database,
+    auction_database,
+    company_database,
+    travel_database,
+    university_database,
+)
+
+
+@pytest.fixture(scope="session")
+def company_db() -> Database:
+    return company_database(num_employees=30, num_departments=7, seed=7)
+
+
+@pytest.fixture(scope="session")
+def university_db() -> Database:
+    return university_database(num_students=20, num_courses=9, seed=7)
+
+
+@pytest.fixture(scope="session")
+def travel_db() -> Database:
+    return travel_database(num_cities=5, hotels_per_city=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ab_db() -> Database:
+    return ab_database(size_a=8, size_b=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def auction_db() -> Database:
+    return auction_database(num_users=20, num_items=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def databases(
+    company_db, university_db, travel_db, ab_db, auction_db
+) -> dict[str, Database]:
+    return {
+        "company": company_db,
+        "university": university_db,
+        "travel": travel_db,
+        "ab": ab_db,
+        "auction": auction_db,
+    }

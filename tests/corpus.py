@@ -1,0 +1,419 @@
+"""The shared query corpus used by integration, property, and bench tests.
+
+Each entry pairs an OQL query with the database family it runs on.  The
+corpus covers every nesting class the paper discusses: flat queries (Kim's
+class A-free), type-N and type-J nesting (handled by normalization), and
+type-A / type-JA nesting (aggregates and quantifiers, which need
+outer-joins and grouping), plus group-by queries for the Section 5
+simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    name: str
+    family: str  # "company" | "university" | "travel" | "ab"
+    oql: str
+    description: str = ""
+
+
+CORPUS: list[CorpusQuery] = [
+    # ---- the paper's own queries -------------------------------------------------
+    CorpusQuery(
+        "query_a",
+        "company",
+        "select distinct struct( E: e.name, C: c.name ) "
+        "from e in Employees, c in e.children",
+        "Paper QUERY A: flat select over an extent and a nested collection",
+    ),
+    CorpusQuery(
+        "query_b",
+        "company",
+        "select distinct struct( D: d, E: ( select distinct e "
+        "from e in Employees where e.dno = d.dno ) ) from d in Departments",
+        "Paper QUERY B: nested select in the head (type-JA)",
+    ),
+    CorpusQuery(
+        "query_d",
+        "company",
+        "select distinct struct( E: e, M: count( select distinct c "
+        "from c in e.children where for all d in e.manager.children: "
+        "c.age > d.age ) ) from e in Employees",
+        "Paper QUERY D: double nesting, count + universal quantification",
+    ),
+    CorpusQuery(
+        "query_e",
+        "university",
+        'select distinct s from s in Student '
+        'where for all c in ( select c from c in Courses where c.title = "DB" ): '
+        "exists t in Transcript: (t.id = s.id and t.cno = c.cno)",
+        "Paper QUERY E: students who took all DB courses",
+    ),
+    CorpusQuery(
+        "hotels",
+        "travel",
+        "select distinct hotel.price from hotel in ( select h "
+        'from c in Cities, h in c.hotels where c.name = "Arlington" ) '
+        "where (exists r in hotel.rooms: r.bed_num = 3) "
+        "and hotel.name in ( select t.name from s in States, "
+        't in s.attractions where s.name = "Texas" )',
+        "Paper Section 2 normalization example",
+    ),
+    CorpusQuery(
+        "group_avg",
+        "company",
+        "select distinct e.dno, avg(e.salary) as S from Employees e "
+        "where e.age > 30 group by e.dno",
+        "Paper Section 5 group-by example (Figure 8)",
+    ),
+    # ---- flat / normalization-only -------------------------------------------------
+    CorpusQuery(
+        "flat_select",
+        "company",
+        "select distinct e.name from e in Employees where e.salary > 70000",
+    ),
+    CorpusQuery(
+        "flat_bag",
+        "company",
+        "select e.dno from e in Employees",
+        "bag (non-distinct) projection with duplicates",
+    ),
+    CorpusQuery(
+        "flat_join",
+        "university",
+        "select distinct struct(S: s.name, C: c.title) "
+        "from s in Student, t in Transcript, c in Courses "
+        'where s.id = t.id and t.cno = c.cno and c.title = "DB"',
+        "three-way equi-join chain (exercises join reordering)",
+    ),
+    CorpusQuery(
+        "type_n_nesting",
+        "travel",
+        "select distinct h.name from h in ( select h from c in Cities, "
+        "h in c.hotels where h.price < 150 )",
+        "type-N nesting: generator over a subquery (normalized away)",
+    ),
+    CorpusQuery(
+        "type_j_nesting",
+        "university",
+        "select distinct s.name from s in Student "
+        "where s.id in ( select t.id from t in Transcript where t.cno = 0 )",
+        "type-J nesting: membership in a correlated-free subquery",
+    ),
+    # ---- aggregates ---------------------------------------------------------------
+    CorpusQuery(
+        "agg_count_extent",
+        "company",
+        "count( select e from e in Employees where e.age > 40 )",
+        "top-level aggregate query",
+    ),
+    CorpusQuery(
+        "agg_sum_nested",
+        "company",
+        "select distinct struct( D: d.dno, T: sum( select e.salary "
+        "from e in Employees where e.dno = d.dno ) ) from d in Departments",
+        "type-A nesting: correlated aggregate in the head",
+    ),
+    CorpusQuery(
+        "agg_max_pred",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where e.salary >= max( select u.salary from u in Employees "
+        "where u.dno = e.dno )",
+        "correlated aggregate in the predicate (type-JA)",
+    ),
+    CorpusQuery(
+        "agg_avg_compare",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where e.salary > avg( select u.salary from u in Employees )",
+        "uncorrelated aggregate in the predicate (computed once)",
+    ),
+    CorpusQuery(
+        "agg_min_top",
+        "university",
+        "min( select t.grade from t in Transcript )",
+    ),
+    CorpusQuery(
+        "count_children",
+        "company",
+        "select distinct struct( N: e.name, K: count( select c "
+        "from c in e.children ) ) from e in Employees",
+        "count over a path collection",
+    ),
+    # ---- quantifiers ----------------------------------------------------------------
+    CorpusQuery(
+        "exists_simple",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where exists c in e.children: c.age > 10",
+    ),
+    CorpusQuery(
+        "forall_simple",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where for all c in e.children: c.age < 15",
+        "universal quantification over a path (vacuously true allowed)",
+    ),
+    CorpusQuery(
+        "not_exists",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where not exists c in e.children: c.age >= 9",
+        "negated existential (DeMorgan → universal)",
+    ),
+    CorpusQuery(
+        "ab_subset",
+        "ab",
+        "for all a in A: exists b in B: a = b",
+        "Paper QUERY C: A ⊆ B as a top-level boolean query",
+    ),
+    CorpusQuery(
+        "nested_quantifiers",
+        "university",
+        "select distinct c.title from c in Courses "
+        "where for all t in Transcript: (t.cno != c.cno or t.grade >= 2)",
+        "universal quantifier with a disjunctive body",
+    ),
+    # ---- deeper / mixed nesting ------------------------------------------------------
+    CorpusQuery(
+        "nested_in_nested",
+        "company",
+        "select distinct struct( D: d.name, Rich: ( select e.name "
+        "from e in Employees where e.dno = d.dno and e.salary > "
+        "avg( select u.salary from u in Employees where u.dno = d.dno ) ) ) "
+        "from d in Departments",
+        "aggregate nested inside a nested select",
+    ),
+    CorpusQuery(
+        "head_and_pred_nesting",
+        "company",
+        "select distinct struct( N: e.name, K: count( select c from c in "
+        "e.children ) ) from e in Employees where exists c in e.children: "
+        "c.age > 5",
+        "nesting in both head and predicate",
+    ),
+    CorpusQuery(
+        "double_correlated",
+        "university",
+        "select distinct s.name from s in Student where count( select t "
+        "from t in Transcript where t.id = s.id ) >= 2",
+        "correlated count compared to a constant (the count-bug shape)",
+    ),
+    CorpusQuery(
+        "count_bug_zero",
+        "university",
+        "select distinct s.name from s in Student where count( select t "
+        "from t in Transcript where t.id = s.id and t.cno = 999 ) = 0",
+        "the classic count bug: students with zero matches must appear",
+    ),
+    CorpusQuery(
+        "group_count",
+        "company",
+        "select distinct e.dno, count(e) as headcount from Employees e "
+        "group by e.dno",
+    ),
+    CorpusQuery(
+        "group_having",
+        "company",
+        "select e.dno, max(e.salary) as top from Employees e "
+        "group by e.dno having count(e) > 2",
+        "group-by with HAVING",
+    ),
+    CorpusQuery(
+        "struct_agg_mix",
+        "company",
+        "select distinct struct( D: d.dno, B: d.budget, "
+        "C: count( select e from e in Employees where e.dno = d.dno ) ) "
+        "from d in Departments where d.budget > 200000",
+    ),
+    CorpusQuery(
+        "arith_in_head",
+        "company",
+        "select distinct struct( N: e.name, Y: e.salary / 12 + 100 ) "
+        "from e in Employees where e.age * 2 >= 60",
+        "arithmetic in head and predicate",
+    ),
+    CorpusQuery(
+        "uncorrelated_subquery_pred",
+        "university",
+        "select distinct s.name from s in Student where exists c in ( "
+        'select c from c in Courses where c.title = "DB" ): true',
+        "uncorrelated existential over a subquery",
+    ),
+    # ---- harder shapes ---------------------------------------------------------
+    CorpusQuery(
+        "triple_nesting",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where count( select c from c in e.children where c.age > "
+        "min( select d.age from d in e.manager.children ) ) >= 1",
+        "aggregate inside an aggregate's predicate (three levels)",
+    ),
+    CorpusQuery(
+        "quantifier_over_subquery_with_agg",
+        "company",
+        "select distinct d.name from d in Departments "
+        "where for all e in ( select e from e in Employees "
+        "where e.dno = d.dno ): e.salary < d.budget",
+        "universal quantifier whose domain is a correlated subquery",
+    ),
+    CorpusQuery(
+        "exists_nonempty_form",
+        "company",
+        "select distinct d.name from d in Departments "
+        "where exists( select e from e in Employees where e.dno = d.dno )",
+        "the exists(query) non-emptiness form",
+    ),
+    CorpusQuery(
+        "membership_of_computed_value",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where e.dno in ( select d.dno from d in Departments "
+        "where d.budget > 300000 )",
+    ),
+    CorpusQuery(
+        "flatten_paths",
+        "travel",
+        "select distinct r.bed_num from r in flatten( select h.rooms "
+        "from c in Cities, h in c.hotels )",
+        "flatten over a two-generator subquery",
+    ),
+    CorpusQuery(
+        "nested_count_comparison",
+        "university",
+        "select distinct s.name from s in Student "
+        "where count( select t from t in Transcript where t.id = s.id ) > "
+        "count( select t from t in Transcript where t.id = 0 )",
+        "two correlated/uncorrelated counts compared",
+    ),
+    CorpusQuery(
+        "aggregate_of_aggregates",
+        "company",
+        "max( select count( select e from e in Employees "
+        "where e.dno = d.dno ) from d in Departments )",
+        "top-level max over per-group counts",
+    ),
+    CorpusQuery(
+        "forall_implication_shape",
+        "company",
+        "select distinct e.name from e in Employees "
+        "where for all c in e.children: (c.age < 5 or c.age > 8)",
+        "disjunctive body under a universal quantifier",
+    ),
+    CorpusQuery(
+        "double_membership",
+        "university",
+        "select distinct c.title from c in Courses "
+        "where c.cno in ( select t.cno from t in Transcript ) "
+        "and c.cno in ( select t.cno from t in Transcript where t.grade >= 3 )",
+        "two membership predicates on the same attribute",
+    ),
+    CorpusQuery(
+        "avg_in_having",
+        "company",
+        "select e.dno, avg(e.age) as meanage from Employees e "
+        "group by e.dno having avg(e.age) > 35",
+        "HAVING over an avg aggregate",
+    ),
+    CorpusQuery(
+        "constant_query",
+        "company",
+        "select distinct 1 from e in Employees",
+        "constant head (result collapses to a singleton set)",
+    ),
+    CorpusQuery(
+        "empty_result",
+        "company",
+        "select distinct e.name from e in Employees where e.age > 1000",
+        "guaranteed-empty selection",
+    ),
+    CorpusQuery(
+        "nested_struct_heads",
+        "company",
+        "select distinct struct( N: e.name, Kids: ( select struct( "
+        "A: c.age, Older: for all d in e.manager.children: c.age >= d.age ) "
+        "from c in e.children ) ) from e in Employees",
+        "records inside a nested select inside a record",
+    ),
+    CorpusQuery(
+        "bag_of_aggregates",
+        "company",
+        "select struct( D: e.dno, K: count( select c from c in e.children ) ) "
+        "from e in Employees",
+        "non-distinct projection carrying a per-object aggregate",
+    ),
+    # ---- set operations (union / except / intersect) -------------------------
+    CorpusQuery(
+        "setop_union",
+        "university",
+        "( select distinct s.id from s in Student where s.age > 25 ) union "
+        "( select distinct t.id from t in Transcript where t.grade >= 3.5 )",
+        "union of two projections",
+    ),
+    CorpusQuery(
+        "setop_except",
+        "university",
+        "( select distinct s.id from s in Student ) except "
+        "( select distinct t.id from t in Transcript )",
+        "students with no transcript entries, as a set difference",
+    ),
+    CorpusQuery(
+        "setop_intersect",
+        "university",
+        "( select distinct s.id from s in Student where s.age < 28 ) intersect "
+        "( select distinct t.id from t in Transcript where t.grade >= 2 )",
+        "intersection of two correlated-free projections",
+    ),
+    # ---- the auction family: a schema the paper never saw --------------------
+    CorpusQuery(
+        "auction_winners",
+        "auction",
+        "select distinct struct( I: i.title, Top: max( select b.amount "
+        "from b in Bids where b.item = i.ino ) ) from i in Items "
+        "where exists b in Bids: (b.item = i.ino and b.amount >= i.reserve)",
+        "per-item top bid among items whose reserve was met",
+    ),
+    CorpusQuery(
+        "auction_no_bids",
+        "auction",
+        "select distinct i.title from i in Items "
+        "where count( select b from b in Bids where b.item = i.ino ) = 0",
+        "items that received no bids (count-bug shape on a fresh schema)",
+    ),
+    CorpusQuery(
+        "auction_power_bidders",
+        "auction",
+        "select distinct u.name from u in Users "
+        "where for all b in ( select b from b in Bids where b.bidder = u.uno ): "
+        "b.amount > 20",
+        "universal quantifier over a correlated subquery",
+    ),
+    CorpusQuery(
+        "auction_category_counts",
+        "auction",
+        "select distinct struct( C: c.name, N: count( select i from i in Items "
+        "where exists k in i.categories: k.name = c.name ) ) "
+        "from i0 in Items, c in i0.categories",
+        "grouping via a nested-set attribute with an existential inside a count",
+    ),
+    CorpusQuery(
+        "auction_big_spenders",
+        "auction",
+        "select distinct u.name, sum( select b.amount from b in Bids "
+        "where b.bidder = u.uno ) as total from u in Users "
+        "where u.rating >= 3",
+        "correlated sum in a multi-item projection",
+    ),
+]
+
+
+def corpus_by_name(name: str) -> CorpusQuery:
+    for query in CORPUS:
+        if query.name == name:
+            return query
+    raise KeyError(name)

@@ -1,0 +1,197 @@
+"""Algebraic laws: the equivalences the optimizer's rewrite rules rely on,
+verified empirically with hypothesis over random databases and predicates.
+
+Every rule in ``ALGEBRAIC_RULES`` and the join-permutation phase assumes an
+equivalence over streams; these tests state each law directly as
+plan-pair-agreement, independent of the rule implementations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.evaluator import PlanEvaluator
+from repro.algebra.operators import (
+    Join,
+    Nest,
+    Operator,
+    OuterJoin,
+    Reduce,
+    Scan,
+    Select,
+)
+from repro.calculus.terms import BinOp, Const, Term, conj, const, path
+from repro.data.database import Database
+from repro.data.values import BagValue, Record
+
+_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def databases(draw):
+    db = Database()
+    r_size = draw(st.integers(min_value=0, max_value=6))
+    s_size = draw(st.integers(min_value=0, max_value=6))
+    db.add_extent(
+        "R",
+        [
+            Record(
+                i=i,
+                a=draw(st.integers(min_value=0, max_value=3)),
+                b=draw(st.integers(min_value=0, max_value=3)),
+            )
+            for i in range(r_size)
+        ],
+    )
+    db.add_extent(
+        "S",
+        [
+            Record(j=j, c=draw(st.integers(min_value=0, max_value=3)))
+            for j in range(s_size)
+        ],
+    )
+    return db
+
+
+@st.composite
+def predicates(draw, columns):
+    """A random conjunction of comparisons over the given (var, attr) pairs."""
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        var_name, attr = draw(st.sampled_from(columns))
+        op = draw(st.sampled_from(["==", "<", ">=", "!="]))
+        parts.append(
+            BinOp(op, path(var_name, attr), const(draw(st.integers(0, 3))))
+        )
+    return conj(*parts)
+
+
+def stream_bag(plan: Operator, db: Database) -> BagValue:
+    """The output stream as a bag of frozen environments."""
+    evaluator = PlanEvaluator(db)
+    return BagValue(
+        tuple(sorted(env.items(), key=lambda kv: kv[0]))
+        for env in evaluator.stream(plan)
+    )
+
+
+R_COLS = [("r", "a"), ("r", "b")]
+S_COLS = [("s", "c")]
+JOIN_PRED = BinOp("==", path("r", "a"), path("s", "c"))
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS), q=predicates(R_COLS))
+def test_select_fusion(db, p, q):
+    split = Select(Select(Scan("R", "r"), p), q)
+    fused = Select(Scan("R", "r"), conj(p, q))
+    assert stream_bag(split, db) == stream_bag(fused, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS + S_COLS))
+def test_join_commutativity(db, p):
+    left = Join(Scan("R", "r"), Scan("S", "s"), p)
+    right = Join(Scan("S", "s"), Scan("R", "r"), p)
+    assert stream_bag(left, db) == stream_bag(right, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS))
+def test_selection_pushes_below_join(db, p):
+    above = Select(Join(Scan("R", "r"), Scan("S", "s"), JOIN_PRED), p)
+    below = Join(Select(Scan("R", "r"), p), Scan("S", "s"), JOIN_PRED)
+    assert stream_bag(above, db) == stream_bag(below, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS))
+def test_selection_pushes_below_outer_join_left_only(db, p):
+    above = Select(OuterJoin(Scan("R", "r"), Scan("S", "s"), JOIN_PRED), p)
+    below = OuterJoin(Select(Scan("R", "r"), p), Scan("S", "s"), JOIN_PRED)
+    assert stream_bag(above, db) == stream_bag(below, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(S_COLS))
+def test_right_only_conjunct_moves_into_outer_join_input(db, p):
+    """The join-pred-push-right law for OUTER joins: a right-only conjunct
+    inside the join predicate is the same as a selection on the right input
+    (a failing right tuple pads either way)."""
+    in_pred = OuterJoin(Scan("R", "r"), Scan("S", "s"), conj(JOIN_PRED, p))
+    as_select = OuterJoin(
+        Scan("R", "r"), Select(Scan("S", "s"), p), JOIN_PRED
+    )
+    assert stream_bag(in_pred, db) == stream_bag(as_select, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS))
+def test_select_through_nest_on_group_columns(db, p):
+    """Filtering emitted groups on group-by columns equals filtering the
+    nest's input — the select-through-nest law."""
+    join = OuterJoin(Scan("R", "r"), Scan("S", "s"), JOIN_PRED)
+    nest_above = Select(
+        Nest(join, "sum", const(1), ("r",), ("s",), "m"), p
+    )
+    nest_below = Nest(
+        OuterJoin(Select(Scan("R", "r"), p), Scan("S", "s"), JOIN_PRED),
+        "sum",
+        const(1),
+        ("r",),
+        ("s",),
+        "m",
+    )
+    assert stream_bag(nest_above, db) == stream_bag(nest_below, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS))
+def test_reduce_pred_equals_select_below(db, p):
+    evaluator_a = PlanEvaluator(db)
+    evaluator_b = PlanEvaluator(db)
+    with_pred = Reduce(Scan("R", "r"), "sum", path("r", "a"), p)
+    with_select = Reduce(Select(Scan("R", "r"), p), "sum", path("r", "a"))
+    assert evaluator_a.evaluate(with_pred) == evaluator_b.evaluate(with_select)
+
+
+@_SETTINGS
+@given(db=databases())
+def test_join_associativity(db):
+    """(R ⋈ S) ⋈ S' = R ⋈ (S ⋈ S') with predicates placed when available."""
+    p_rs = BinOp("==", path("r", "a"), path("s", "c"))
+    p_st = BinOp("==", path("s", "c"), path("t", "c"))
+    left_deep = Join(
+        Join(Scan("R", "r"), Scan("S", "s"), p_rs), Scan("S", "t"), p_st
+    )
+    right_deep = Join(
+        Scan("R", "r"), Join(Scan("S", "s"), Scan("S", "t"), p_st), p_rs
+    )
+    assert stream_bag(left_deep, db) == stream_bag(right_deep, db)
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS + S_COLS))
+def test_outer_join_preserves_left_multiplicity(db, p):
+    """Every left tuple appears at least once in a left outer-join — the
+    non-blocking property the unnesting algorithm depends on."""
+    join = OuterJoin(Scan("R", "r"), Scan("S", "s"), p)
+    evaluator = PlanEvaluator(db)
+    left_tuples = [env["r"] for env in evaluator.stream(join)]
+    assert set(left_tuples) == set(db.extent("R"))
+
+
+@_SETTINGS
+@given(db=databases(), p=predicates(R_COLS + S_COLS))
+def test_nest_emits_one_group_per_left_tuple(db, p):
+    """Nest over outer-join restores exactly the left stream (with the
+    aggregate attached) — the splice-invariance at the heart of C8/C9."""
+    join = OuterJoin(Scan("R", "r"), Scan("S", "s"), p)
+    nest = Nest(join, "sum", const(1), ("r",), ("s",), "m")
+    evaluator = PlanEvaluator(db)
+    grouped = [env["r"] for env in evaluator.stream(nest)]
+    assert sorted(grouped, key=repr) == sorted(db.extent("R"), key=repr)

@@ -1,0 +1,302 @@
+"""Unit tests for the reference calculus semantics (rules D1–D7 and the
+NULL policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus.evaluator import EvaluationError, Evaluator, evaluate
+from repro.calculus.terms import (
+    Apply,
+    BinOp,
+    Comprehension,
+    Const,
+    Extent,
+    If,
+    IsNull,
+    Lambda,
+    Let,
+    Merge,
+    Not,
+    Null,
+    Proj,
+    Singleton,
+    Var,
+    Zero,
+    comprehension,
+    const,
+    path,
+    record,
+    var,
+)
+from repro.data.database import Database
+from repro.data.values import NULL, BagValue, ListValue, Record, SetValue, is_null
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.add_extent(
+        "Nums", [Record(v=1), Record(v=2), Record(v=3), Record(v=4)]
+    )
+    database.add_extent(
+        "Pairs",
+        [
+            Record(k=1, items=SetValue([10, 20])),
+            Record(k=2, items=SetValue([])),
+            Record(k=3, items=SetValue([30])),
+        ],
+    )
+    return database
+
+
+class TestAtoms:
+    def test_const(self, db):
+        assert evaluate(const(42), db) == 42
+
+    def test_null(self, db):
+        assert is_null(evaluate(Null(), db))
+
+    def test_var_binding(self, db):
+        assert evaluate(var("x"), db, {"x": 7}) == 7
+
+    def test_unbound_var_message(self, db):
+        with pytest.raises(EvaluationError, match="unbound variable 'x'"):
+            evaluate(var("x"), db)
+
+    def test_extent(self, db):
+        assert len(evaluate(Extent("Nums"), db)) == 4
+
+    def test_unknown_extent(self, db):
+        with pytest.raises(KeyError, match="unknown extent"):
+            evaluate(Extent("Nope"), db)
+
+
+class TestRecordsAndProjection:
+    def test_record_construction(self, db):
+        assert evaluate(record(a=const(1)), db) == Record(a=1)
+
+    def test_projection(self, db):
+        assert evaluate(Proj(record(a=const(1)), "a"), db) == 1
+
+    def test_projection_of_null_is_null(self, db):
+        assert is_null(evaluate(Proj(Null(), "a"), db))
+
+    def test_projection_of_scalar_fails(self, db):
+        with pytest.raises(EvaluationError, match="non-record"):
+            evaluate(Proj(const(1), "a"), db)
+
+
+class TestFunctionsAndControl:
+    def test_lambda_apply(self, db):
+        term = Apply(Lambda("x", BinOp("+", var("x"), const(1))), const(2))
+        assert evaluate(term, db) == 3
+
+    def test_apply_non_function(self, db):
+        with pytest.raises(EvaluationError, match="non-function"):
+            evaluate(Apply(const(1), const(2)), db)
+
+    def test_if_true_false(self, db):
+        assert evaluate(If(const(True), const(1), const(2)), db) == 1
+        assert evaluate(If(const(False), const(1), const(2)), db) == 2
+
+    def test_if_null_takes_else(self, db):
+        assert evaluate(If(Null(), const(1), const(2)), db) == 2
+
+    def test_let(self, db):
+        term = Let("x", const(5), BinOp("*", var("x"), var("x")))
+        assert evaluate(term, db) == 25
+
+
+class TestOperators:
+    def test_arithmetic(self, db):
+        assert evaluate(BinOp("+", const(2), const(3)), db) == 5
+        assert evaluate(BinOp("-", const(2), const(3)), db) == -1
+        assert evaluate(BinOp("*", const(2), const(3)), db) == 6
+        assert evaluate(BinOp("/", const(7), const(2)), db) == 3.5
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            evaluate(BinOp("/", const(1), const(0)), db)
+
+    def test_comparisons(self, db):
+        assert evaluate(BinOp("<", const(1), const(2)), db) is True
+        assert evaluate(BinOp(">=", const(1), const(2)), db) is False
+        assert evaluate(BinOp("==", const("a"), const("a")), db) is True
+        assert evaluate(BinOp("!=", const("a"), const("b")), db) is True
+
+    def test_null_propagates_through_strict_ops(self, db):
+        assert is_null(evaluate(BinOp("+", Null(), const(1)), db))
+        assert is_null(evaluate(BinOp("==", Null(), Null()), db))
+        assert is_null(evaluate(Not(Null()), db))
+
+    def test_and_or_short_circuit_around_null(self, db):
+        assert evaluate(BinOp("and", const(False), Null()), db) is False
+        assert evaluate(BinOp("or", const(True), Null()), db) is True
+        assert is_null(evaluate(BinOp("and", const(True), Null()), db))
+        assert is_null(evaluate(BinOp("or", const(False), Null()), db))
+
+    def test_is_null(self, db):
+        assert evaluate(IsNull(Null()), db) is True
+        assert evaluate(IsNull(const(0)), db) is False
+
+    def test_not(self, db):
+        assert evaluate(Not(const(True)), db) is False
+        with pytest.raises(EvaluationError):
+            evaluate(Not(const(1)), db)
+
+
+class TestCollections:
+    def test_zero_singleton_merge(self, db):
+        assert evaluate(Zero("set"), db) == SetValue()
+        assert evaluate(Singleton("set", const(1)), db) == SetValue([1])
+        merged = Merge("set", Singleton("set", const(1)), Singleton("set", const(2)))
+        assert evaluate(merged, db) == SetValue([1, 2])
+
+    def test_bag_merge_keeps_duplicates(self, db):
+        merged = Merge("bag", Singleton("bag", const(1)), Singleton("bag", const(1)))
+        assert evaluate(merged, db) == BagValue([1, 1])
+
+    def test_list_merge_keeps_order(self, db):
+        merged = Merge("list", Singleton("list", const(2)), Singleton("list", const(1)))
+        assert evaluate(merged, db) == ListValue([2, 1])
+
+    def test_singleton_of_primitive_monoid_fails(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate(Singleton("sum", const(1)), db)
+
+
+class TestComprehensions:
+    def test_set_comprehension(self, db):
+        comp = comprehension("set", path("n", "v"), ("n", Extent("Nums")))
+        assert evaluate(comp, db) == SetValue([1, 2, 3, 4])
+
+    def test_filter(self, db):
+        comp = comprehension(
+            "set", path("n", "v"), ("n", Extent("Nums")),
+            BinOp(">", path("n", "v"), const(2)),
+        )
+        assert evaluate(comp, db) == SetValue([3, 4])
+
+    def test_sum(self, db):
+        comp = comprehension("sum", path("n", "v"), ("n", Extent("Nums")))
+        assert evaluate(comp, db) == 10
+
+    def test_prod(self, db):
+        comp = comprehension("prod", path("n", "v"), ("n", Extent("Nums")))
+        assert evaluate(comp, db) == 24
+
+    def test_max_min(self, db):
+        assert evaluate(
+            comprehension("max", path("n", "v"), ("n", Extent("Nums"))), db
+        ) == 4
+        assert evaluate(
+            comprehension("min", path("n", "v"), ("n", Extent("Nums"))), db
+        ) == 1
+
+    def test_quantifiers(self, db):
+        all_comp = comprehension(
+            "all", BinOp(">", path("n", "v"), const(0)), ("n", Extent("Nums"))
+        )
+        some_comp = comprehension(
+            "some", BinOp(">", path("n", "v"), const(3)), ("n", Extent("Nums"))
+        )
+        assert evaluate(all_comp, db) is True
+        assert evaluate(some_comp, db) is True
+        assert evaluate(
+            comprehension("all", const(False), ("n", Extent("Nums"))), db
+        ) is False
+
+    def test_empty_domain_yields_zero(self, db):
+        comp = comprehension("sum", const(1), ("x", Zero("set")))
+        assert evaluate(comp, db) == 0
+        assert evaluate(
+            comprehension("all", const(False), ("x", Zero("set"))), db
+        ) is True
+
+    def test_generator_over_null_is_empty(self, db):
+        comp = comprehension("sum", const(1), ("x", Null()))
+        assert evaluate(comp, db) == 0
+
+    def test_null_filter_counts_as_false(self, db):
+        comp = comprehension("sum", const(1), ("n", Extent("Nums")), Null())
+        assert evaluate(comp, db) == 0
+
+    def test_null_head_skipped_in_aggregate(self, db):
+        comp = comprehension(
+            "sum",
+            If(BinOp("==", path("n", "v"), const(2)), Null(), path("n", "v")),
+            ("n", Extent("Nums")),
+        )
+        assert evaluate(comp, db) == 8  # 1 + 3 + 4; the NULL is skipped
+
+    def test_null_kept_in_set(self, db):
+        comp = comprehension(
+            "set",
+            If(BinOp("==", path("n", "v"), const(2)), Null(), path("n", "v")),
+            ("n", Extent("Nums")),
+        )
+        assert evaluate(comp, db) == SetValue([1, NULL, 3, 4])
+
+    def test_nested_generators(self, db):
+        comp = comprehension(
+            "sum", var("i"), ("p", Extent("Pairs")), ("i", path("p", "items"))
+        )
+        assert evaluate(comp, db) == 60
+
+    def test_dependent_generator_with_empty_inner(self, db):
+        comp = comprehension(
+            "set", path("p", "k"), ("p", Extent("Pairs")), ("i", path("p", "items"))
+        )
+        # k=2 has no items, so it does not appear.
+        assert evaluate(comp, db) == SetValue([1, 3])
+
+    def test_nested_comprehension_in_head(self, db):
+        comp = comprehension(
+            "set",
+            record(
+                k=path("p", "k"),
+                total=comprehension("sum", var("i"), ("i", path("p", "items"))),
+            ),
+            ("p", Extent("Pairs")),
+        )
+        assert evaluate(comp, db) == SetValue(
+            [Record(k=1, total=30), Record(k=2, total=0), Record(k=3, total=30)]
+        )
+
+    def test_avg(self, db):
+        comp = comprehension("avg", path("n", "v"), ("n", Extent("Nums")))
+        assert evaluate(comp, db) == 2.5
+
+    def test_avg_of_empty_is_null(self, db):
+        comp = comprehension("avg", var("x"), ("x", Zero("set")))
+        assert is_null(evaluate(comp, db))
+
+    def test_bag_counts_duplicates(self, db):
+        comp = comprehension(
+            "bag", BinOp("*", const(0), path("n", "v")), ("n", Extent("Nums"))
+        )
+        assert evaluate(comp, db) == BagValue([0, 0, 0, 0])
+
+    def test_non_collection_domain_fails(self, db):
+        comp = comprehension("sum", var("x"), ("x", const(3)))
+        with pytest.raises(EvaluationError, match="not a collection"):
+            evaluate(comp, db)
+
+    def test_non_boolean_filter_fails(self, db):
+        comp = comprehension("sum", const(1), ("n", Extent("Nums")), const(3))
+        with pytest.raises(EvaluationError, match="not a boolean"):
+            evaluate(comp, db)
+
+
+class TestStepCounting:
+    def test_steps_count_generator_iterations(self, db):
+        evaluator = Evaluator(db)
+        comp = comprehension(
+            "sum",
+            comprehension("sum", const(1), ("m", Extent("Nums"))),
+            ("n", Extent("Nums")),
+        )
+        assert evaluator.evaluate(comp) == 16
+        # 4 outer iterations + 4*4 inner iterations.
+        assert evaluator.steps == 20

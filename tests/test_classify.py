@@ -1,0 +1,114 @@
+"""Tests for the nesting classifier (Kim's taxonomy, paper Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from corpus import CORPUS, corpus_by_name
+from repro.core.classify import CLASS_ORDER, classify, classify_oql
+from repro.oql.translator import parse_and_translate
+
+
+class TestBasicClasses:
+    def test_flat(self):
+        report = classify_oql("select distinct e.name from e in Employees")
+        assert str(report) == "flat"
+        assert report.dominant == "flat"
+        assert not report.needs_grouping
+
+    def test_type_n(self):
+        report = classify_oql(
+            "select distinct s.name from s in Student "
+            "where s.id in ( select t.id from t in Transcript )"
+        )
+        assert "N" in report.classes
+        assert not report.needs_grouping
+
+    def test_type_j(self):
+        report = classify_oql(
+            "select distinct s.name from s in Student "
+            "where exists t in Transcript: t.id = s.id"
+        )
+        assert "J" in report.classes
+        assert not report.needs_grouping
+
+    def test_type_a(self):
+        report = classify_oql(
+            "select distinct e.name from e in Employees "
+            "where e.salary > avg( select u.salary from u in Employees )"
+        )
+        assert "A" in report.classes
+        assert report.needs_grouping
+
+    def test_type_ja(self):
+        report = classify_oql(
+            "select distinct e.name from e in Employees "
+            "where e.salary >= max( select u.salary from u in Employees "
+            "where u.dno = e.dno )"
+        )
+        assert "JA" in report.classes
+        assert report.dominant == "JA"
+        assert report.needs_grouping
+
+    def test_universal_quantifier_is_aggregate_like(self):
+        report = classify_oql(
+            "select distinct e.name from e in Employees "
+            "where for all c in e.children: c.age > 1"
+        )
+        assert report.needs_grouping
+
+    def test_head_nesting_is_aggregate_like(self):
+        """Any comprehension embedded in the head needs grouping — the
+        paper's QUERY B discussion ("the computed set must be embedded in
+        the result of every iteration")."""
+        report = classify_oql(
+            "select distinct struct( D: d, E: ( select e.name from e in "
+            "Employees where e.dno = d.dno ) ) from d in Departments"
+        )
+        assert report.dominant == "JA"
+        assert report.needs_grouping
+
+    def test_mixed_classes_accumulate(self):
+        report = classify_oql(
+            "select distinct struct( K: count( select c from c in e.children ) ) "
+            "from e in Employees "
+            "where exists c in e.children: c.age > 1"
+        )
+        assert {"J", "JA"} <= report.classes
+        assert report.dominant == "JA"
+
+    def test_class_order_is_total(self):
+        assert CLASS_ORDER == ("flat", "N", "J", "A", "JA")
+
+
+class TestPaperClaim:
+    """Section 2: "Our normalization algorithm unnests all type N and J
+    nested queries" — after prepare(), N/J-only queries must be flat, while
+    A/JA queries must still contain nesting."""
+
+    @pytest.mark.parametrize(
+        "name", ["type_n_nesting", "type_j_nesting", "exists_simple"]
+    )
+    def test_normalization_flattens_n_and_j(self, name, databases):
+        from repro.core.normalization import prepare
+
+        query = corpus_by_name(name)
+        db = databases[query.family]
+        term = parse_and_translate(query.oql, db.schema)
+        assert not classify(term).needs_grouping
+        assert classify(prepare(term)).dominant == "flat"
+
+    @pytest.mark.parametrize("name", ["agg_max_pred", "query_b", "query_d"])
+    def test_a_and_ja_survive_normalization(self, name, databases):
+        from repro.core.normalization import prepare
+
+        query = corpus_by_name(name)
+        db = databases[query.family]
+        term = parse_and_translate(query.oql, db.schema)
+        assert classify(prepare(term)).dominant != "flat"
+
+    def test_whole_corpus_classifies_without_error(self, databases):
+        for query in CORPUS:
+            db = databases[query.family]
+            report = classify_oql(query.oql, db.schema)
+            assert report.dominant in CLASS_ORDER

@@ -1,0 +1,181 @@
+"""Tests for the extensions beyond the paper's core algorithm.
+
+Section 8 leaves bag/list unnesting as future work because "grouping alone
+is not capable of reconstructing the input stream ... these collection
+types are not idempotent".  Our engine's streams are *multisets* (operators
+never deduplicate), so bag-monoid queries come out of the same C1–C9
+translation correct — these tests pin that extension.  List-valued results
+are provided through the ORDER BY engine extension, and the measured
+executor (EXPLAIN ANALYZE) is covered here too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_plan
+from repro.calculus.evaluator import evaluate
+from repro.calculus.terms import (
+    BinOp,
+    Extent,
+    comprehension,
+    const,
+    path,
+    record,
+    var,
+)
+from repro.core.unnesting import unnest_query
+from repro.data.database import Database
+from repro.data.datagen import company_database
+from repro.data.values import BagValue, ListValue, Record, SetValue
+from repro.engine import run_with_stats
+from repro.engine.planner import PlannerOptions, execute
+
+
+@pytest.fixture(scope="module")
+def db():
+    return company_database(num_employees=18, num_departments=4, seed=21)
+
+
+class TestBagUnnesting:
+    """Bag-monoid queries through the full unnesting pipeline."""
+
+    def check(self, term, database):
+        reference = evaluate(term, database)
+        plan = unnest_query(term)
+        assert evaluate_plan(plan, database) == reference
+        assert execute(plan, database) == reference
+        assert execute(plan, database, PlannerOptions(hash_joins=False)) == reference
+        return reference
+
+    def test_flat_bag_projection_keeps_duplicates(self, db):
+        term = comprehension("bag", path("e", "dno"), ("e", Extent("Employees")))
+        result = self.check(term, db)
+        assert isinstance(result, BagValue)
+        assert len(result) == db.cardinality("Employees")
+
+    def test_bag_with_nested_aggregate_head(self, db):
+        inner = comprehension(
+            "sum", const(1), ("c", path("e", "children"))
+        )
+        term = comprehension(
+            "bag", record(D=path("e", "dno"), K=inner), ("e", Extent("Employees"))
+        )
+        result = self.check(term, db)
+        assert len(result) == db.cardinality("Employees")
+
+    def test_bag_with_correlated_aggregate_predicate(self, db):
+        depth = comprehension(
+            "max", path("u", "salary"), ("u", Extent("Employees")),
+            BinOp("==", path("u", "dno"), path("e", "dno")),
+        )
+        term = comprehension(
+            "bag", path("e", "dno"), ("e", Extent("Employees")),
+            BinOp("==", path("e", "salary"), depth),
+        )
+        self.check(term, db)
+
+    def test_bag_join_multiplicity(self):
+        """A bag join must multiply multiplicities, unlike the set case."""
+        database = Database()
+        database.add_extent("L", [1, 1, 2], kind="bag")
+        database.add_extent("R", [1, 2, 2], kind="bag")
+        term = comprehension(
+            "bag",
+            var("x"),
+            ("x", Extent("L")),
+            ("y", Extent("R")),
+            BinOp("==", var("x"), var("y")),
+        )
+        reference = evaluate(term, database)
+        assert reference == BagValue([1, 1, 2, 2])
+        plan = unnest_query(term)
+        assert execute(plan, database) == reference
+
+    def test_nested_bag_in_head(self, db):
+        """A bag-valued inner query grouped per outer object."""
+        inner = comprehension(
+            "bag", path("c", "age"), ("c", path("e", "children"))
+        )
+        term = comprehension(
+            "set",
+            record(N=path("e", "name"), Ages=inner),
+            ("e", Extent("Employees")),
+        )
+        result = self.check(term, db)
+        assert all(isinstance(r["Ages"], BagValue) for r in result)
+
+    def test_sum_over_bag_extent(self):
+        database = Database()
+        database.add_extent("B", [5, 5, 7], kind="bag")
+        term = comprehension("sum", var("x"), ("x", Extent("B")))
+        assert evaluate(term, database) == 17
+        assert execute(unnest_query(term), database) == 17
+
+
+class TestListSupport:
+    """Lists work in the calculus; list extents feed other monoids."""
+
+    def test_list_comprehension_preserves_order(self):
+        database = Database()
+        database.add_extent("L", [3, 1, 2], kind="list")
+        term = comprehension(
+            "list", BinOp("*", var("x"), const(10)), ("x", Extent("L"))
+        )
+        assert evaluate(term, database) == ListValue([30, 10, 20])
+
+    def test_list_into_set_is_allowed(self):
+        database = Database()
+        database.add_extent("L", [2, 1, 2], kind="list")
+        term = comprehension("set", var("x"), ("x", Extent("L")))
+        assert evaluate(term, database) == SetValue([1, 2])
+
+    def test_set_into_list_rejected_by_typechecker(self):
+        from repro.calculus.typing import CalculusTypeError, infer_type
+        from repro.data.schema import INT, Schema, set_of
+
+        schema = Schema()
+        schema.define_class("Int", value=INT)
+        schema.define_extent("S", "Int")
+        term = comprehension("list", var("x"), ("x", Extent("S")))
+        with pytest.raises(CalculusTypeError, match="non-commutative"):
+            infer_type(term, schema)
+
+
+class TestExecutorStats:
+    def test_stats_report(self, db):
+        term = comprehension(
+            "set",
+            path("e", "name"),
+            ("e", Extent("Employees")),
+            BinOp(">", path("e", "age"), const(30)),
+        )
+        plan = unnest_query(term)
+        stats = run_with_stats(plan, db)
+        assert stats.result == evaluate(term, db)
+        assert stats.total_rows > 0
+        assert stats.elapsed_ms >= 0
+        report = stats.report()
+        assert "rows=" in report
+        assert "Scan" in report
+
+    def test_stats_expose_join_fanout(self, db):
+        term = comprehension(
+            "sum",
+            const(1),
+            ("e", Extent("Employees")),
+            ("d", Extent("Departments")),
+        )
+        plan = unnest_query(term)
+        stats = run_with_stats(plan, db, PlannerOptions(hash_joins=False))
+        cross = db.cardinality("Employees") * db.cardinality("Departments")
+        join_rows = [
+            op.rows_produced for op in stats.operators if "Join" in op.operator
+        ]
+        assert join_rows == [cross]
+
+    def test_stats_root_must_be_complete(self, db):
+        from repro.algebra.operators import Scan
+
+        with pytest.raises(TypeError, match="rooted at"):
+            run_with_stats(Scan("Employees", "e"), db)

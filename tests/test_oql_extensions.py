@@ -1,0 +1,152 @@
+"""Tests for the OQL extensions: flatten, type-checked compilation, and
+parser robustness (fuzzing)."""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calculus.evaluator import evaluate
+from repro.calculus.typing import CalculusTypeError
+from repro.core.optimizer import Optimizer, OptimizerOptions
+from repro.data.datagen import company_database, travel_database
+from repro.data.values import SetValue
+from repro.oql.lexer import OQLSyntaxError, tokenize
+from repro.oql.parser import parse
+from repro.oql.translator import parse_and_translate
+
+
+class TestFlatten:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return travel_database(num_cities=4, hotels_per_city=3, seed=17)
+
+    def test_flatten_set_of_sets(self, db):
+        result = Optimizer(db).run_oql(
+            "select distinct h.name from h in flatten( "
+            "select c.hotels from c in Cities )"
+        )
+        expected = {
+            hotel["name"]
+            for city in db.extent("Cities")
+            for hotel in city["hotels"]
+        }
+        assert result == SetValue(expected)
+
+    def test_flatten_matches_manual_unnesting(self, db):
+        flat = Optimizer(db).run_oql(
+            "select distinct h.price from h in flatten( "
+            "select c.hotels from c in Cities )"
+        )
+        manual = Optimizer(db).run_oql(
+            "select distinct h.price from c in Cities, h in c.hotels"
+        )
+        assert flat == manual
+
+    def test_flatten_unnests_through_pipeline(self, db):
+        """flatten's comprehension must normalize away entirely."""
+        term = parse_and_translate(
+            "select distinct h.name from h in flatten( "
+            "select c.hotels from c in Cities )",
+            db.schema,
+        )
+        from repro.core.normalization import prepare
+        from repro.calculus.terms import Comprehension, subterms
+
+        prepared = prepare(term)
+        inner = [
+            s
+            for s in subterms(prepared)
+            if isinstance(s, Comprehension) and s is not prepared
+        ]
+        assert not inner, "flatten left residual nesting"
+
+    def test_flatten_naive_agrees(self, db):
+        source = (
+            "count( flatten( select c.hotels from c in Cities ) )"
+        )
+        fast = Optimizer(db).run_oql(source)
+        naive = Optimizer(db, OptimizerOptions(unnest=False)).run_oql(source)
+        assert fast == naive
+
+
+class TestTypecheckOption:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return company_database(10, 3, seed=17)
+
+    def test_well_typed_query_passes(self, db):
+        optimizer = Optimizer(db, OptimizerOptions(typecheck=True))
+        result = optimizer.run_oql(
+            "select distinct e.name from e in Employees where e.age > 30"
+        )
+        assert isinstance(result, SetValue)
+
+    def test_bad_projection_rejected_at_compile_time(self, db):
+        optimizer = Optimizer(db, OptimizerOptions(typecheck=True))
+        with pytest.raises(CalculusTypeError, match="ghost"):
+            optimizer.compile_oql(
+                "select distinct e.ghost from e in Employees"
+            )
+
+    def test_bad_comparison_rejected(self, db):
+        optimizer = Optimizer(db, OptimizerOptions(typecheck=True))
+        with pytest.raises(CalculusTypeError):
+            optimizer.compile_oql(
+                "select distinct e.name from e in Employees "
+                'where e.age > "old"'
+            )
+
+    def test_without_typecheck_error_surfaces_at_runtime(self, db):
+        optimizer = Optimizer(db)
+        compiled = optimizer.compile_oql(
+            "select distinct e.ghost from e in Employees"
+        )
+        with pytest.raises(Exception):
+            compiled.execute(db)
+
+
+class TestParserRobustness:
+    """The front end must fail with OQLSyntaxError, never crash."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.text(
+            alphabet=string.ascii_letters + string.digits + " .,()<>=!+-*/\"'",
+            max_size=60,
+        )
+    )
+    def test_parser_never_crashes(self, source):
+        try:
+            parse(source)
+        except OQLSyntaxError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=40))
+    def test_lexer_never_crashes(self, source):
+        try:
+            tokenize(source)
+        except OQLSyntaxError:
+            pass
+
+    def test_shuffled_valid_tokens(self):
+        """Random shuffles of a valid query's tokens must not crash."""
+        source = (
+            "select distinct e.name from e in Employees where e.age > 30"
+        )
+        words = source.split()
+        rng = random.Random(7)
+        for _ in range(50):
+            rng.shuffle(words)
+            try:
+                parse(" ".join(words))
+            except OQLSyntaxError:
+                pass
+
+    def test_error_messages_carry_position(self):
+        with pytest.raises(OQLSyntaxError, match="line 1"):
+            parse("select from")

@@ -1,0 +1,48 @@
+"""Round-trip tests for the OQL unparser: parse(unparse(parse(q))) == parse(q)."""
+
+from __future__ import annotations
+
+import pytest
+
+from corpus import CORPUS
+from repro.oql.parser import parse
+from repro.oql.pretty import unparse
+
+
+@pytest.mark.parametrize("query", CORPUS, ids=lambda q: q.name)
+def test_corpus_round_trip(query):
+    ast = parse(query.oql)
+    rendered = unparse(ast)
+    assert parse(rendered) == ast, f"round trip changed the AST:\n{rendered}"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "select distinct e from e in Employees",
+        "select e.a + 1 * 2 from e in X",
+        "select (e.a + 1) * 2 from e in X",
+        "select -e.a from e in X",
+        "select e from e in X where not (a = 1 and b = 2)",
+        "select e from e in X where a = 1 or b = 2 and c = 3",
+        'select e from e in X where e.name = "Smith"',
+        "select struct( A: 1, B: e.x ) from e in X",
+        "select e from e in X where exists( select k from k in e.kids )",
+        "select e from e in X where e.a in ( select y.a from y in Y )",
+        "select e.dno, count(e) as n from X e group by e.dno having count(e) > 1",
+        "select e.a as x from e in X order by x desc, value",
+        "select f from f in flatten( select e.kids from e in X )",
+        "select e from e in X where nil = e.a and true or false",
+        "select e from e in X, c in e.kids where for all d in c.sub: d.v >= 0",
+    ],
+)
+def test_handwritten_round_trip(source):
+    ast = parse(source)
+    assert parse(unparse(ast)) == ast
+
+
+def test_unparse_output_is_stable():
+    source = "select distinct e.name from e in Employees where e.age > 30"
+    once = unparse(parse(source))
+    twice = unparse(parse(once))
+    assert once == twice

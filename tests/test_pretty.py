@@ -1,0 +1,116 @@
+"""Unit tests for the term and plan pretty-printers (the paper's notation)."""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Nest, OuterJoin, Reduce, Scan
+from repro.algebra.pretty import pretty_plan
+from repro.calculus.pretty import pretty
+from repro.calculus.terms import (
+    Apply,
+    BinOp,
+    Extent,
+    If,
+    IsNull,
+    Lambda,
+    Let,
+    Merge,
+    Not,
+    Null,
+    Singleton,
+    Zero,
+    comprehension,
+    const,
+    path,
+    record,
+    var,
+)
+
+
+class TestTermPretty:
+    def test_query_a_notation(self):
+        comp = comprehension(
+            "set",
+            record(E=path("e", "name"), C=path("c", "name")),
+            ("e", Extent("Employees")),
+            ("c", path("e", "children")),
+        )
+        assert pretty(comp) == (
+            "{ ( C=c.name, E=e.name ) | e <- Employees, c <- e.children }"
+        )
+
+    def test_monoid_symbols(self):
+        gen = ("x", Extent("X"))
+        assert pretty(comprehension("sum", const(1), gen)) == "+{ 1 | x <- X }"
+        assert pretty(comprehension("all", const(True), gen)) == "&{ true | x <- X }"
+        assert pretty(comprehension("some", const(True), gen)) == "|{ true | x <- X }"
+        assert pretty(comprehension("max", var("x"), gen)) == "max{ x | x <- X }"
+
+    def test_equality_prints_as_single_equals(self):
+        assert pretty(BinOp("==", var("a"), var("b"))) == "a = b"
+
+    def test_string_and_bool_literals(self):
+        assert pretty(const("DB")) == '"DB"'
+        assert pretty(const(True)) == "true"
+        assert pretty(const(False)) == "false"
+
+    def test_null(self):
+        assert pretty(Null()) == "NULL"
+        assert pretty(IsNull(var("x"))) == "x is NULL"
+
+    def test_collection_constructors(self):
+        assert pretty(Zero("set")) == "{}"
+        assert pretty(Zero("bag")) == "{{}}"
+        assert pretty(Zero("sum")) == "zero[sum]"
+        assert pretty(Singleton("set", const(1))) == "{ 1 }"
+        assert pretty(Merge("set", var("a"), var("b"))) == "a U b"
+
+    def test_nested_operands_parenthesized(self):
+        term = BinOp("*", BinOp("+", var("a"), var("b")), var("c"))
+        assert pretty(term) == "(a + b) * c"
+
+    def test_lambda_apply_let_if(self):
+        assert pretty(Lambda("x", var("x"))) == "\\x. x"
+        assert pretty(Apply(var("f"), const(1))) == "f(1)"
+        assert pretty(Let("x", const(1), var("x"))) == "let x = 1 in x"
+        assert (
+            pretty(If(var("p"), const(1), const(2))) == "if p then 1 else 2"
+        )
+        assert pretty(Not(var("p"))) == "not p"
+
+    def test_empty_qualifier_list(self):
+        assert pretty(comprehension("sum", const(1))) == "+{ 1 | }"
+
+
+class TestPlanPretty:
+    def test_figure_1b_rendering(self):
+        plan = Reduce(
+            Nest(
+                OuterJoin(
+                    Scan("Departments", "d"),
+                    Scan("Employees", "e"),
+                    BinOp("==", path("e", "dno"), path("d", "dno")),
+                ),
+                "set",
+                var("e"),
+                ("d",),
+                ("e",),
+                "m",
+            ),
+            "set",
+            record(D=var("d"), E=var("m")),
+        )
+        text = pretty_plan(plan)
+        lines = text.splitlines()
+        assert lines[0] == "reduce[U / ( D=d, E=m )]"
+        assert lines[1].strip().startswith("nest[U / m=e group_by(d) nulls(e)]")
+        assert lines[2].strip().startswith("outer-join[e.dno = d.dno]")
+        assert lines[3].strip() == "scan[d <- Departments]"
+        assert lines[4].strip() == "scan[e <- Employees]"
+
+    def test_predicates_shown_when_nontrivial(self):
+        from repro.calculus.terms import Const
+
+        plan = Reduce(Scan("X", "x"), "sum", const(1), BinOp(">", var("x"), const(2)))
+        assert "where x > 2" in pretty_plan(plan)
+        plan_no_pred = Reduce(Scan("X", "x"), "sum", const(1))
+        assert "where" not in pretty_plan(plan_no_pred)

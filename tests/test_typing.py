@@ -1,0 +1,296 @@
+"""Unit tests for the typing rules: calculus (Figure 3) and algebra (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.operators import (
+    Join,
+    Nest,
+    OuterJoin,
+    Reduce,
+    Scan,
+    Select,
+    Unnest,
+)
+from repro.algebra.typing import AlgebraTypeError, infer_plan_type
+from repro.calculus.terms import (
+    Apply,
+    BinOp,
+    Comprehension,
+    Const,
+    Extent,
+    If,
+    IsNull,
+    Lambda,
+    Let,
+    Merge,
+    Not,
+    Null,
+    Proj,
+    Singleton,
+    Zero,
+    comprehension,
+    const,
+    path,
+    record,
+    var,
+)
+from repro.calculus.typing import CalculusTypeError, infer_type
+from repro.data.schema import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    CollectionType,
+    FunctionType,
+    RecordType,
+    Schema,
+    record_of,
+    set_of,
+    unify,
+)
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    s = Schema()
+    s.define_class("Emp", name=STRING, age=INT, salary=FLOAT)
+    s.define_extent("Employees", "Emp")
+    return s
+
+
+class TestSchemaTypes:
+    def test_record_attribute_lookup(self):
+        rec = record_of(a=INT, b=STRING)
+        assert rec.attribute("a") == INT
+        with pytest.raises(KeyError):
+            rec.attribute("c")
+
+    def test_record_equality_order_free(self):
+        assert record_of(a=INT, b=BOOL) == record_of(b=BOOL, a=INT)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RecordType((("a", INT), ("a", BOOL)))
+
+    def test_collection_type_str(self):
+        assert str(set_of(INT)) == "set(int)"
+
+    def test_invalid_collection_kind(self):
+        with pytest.raises(ValueError):
+            CollectionType("queue", INT)
+
+    def test_unify_any(self):
+        assert unify(ANY, INT) == INT
+        assert unify(INT, ANY) == INT
+
+    def test_unify_numeric_widening(self):
+        assert unify(INT, FLOAT) == FLOAT
+
+    def test_unify_collections(self):
+        assert unify(set_of(INT), set_of(ANY)) == set_of(INT)
+
+    def test_unify_mismatch(self):
+        with pytest.raises(TypeError):
+            unify(INT, STRING)
+        with pytest.raises(TypeError):
+            unify(set_of(INT), CollectionType("bag", INT))
+
+    def test_schema_extent_type(self, schema):
+        extent_type = schema.extent_type("Employees")
+        assert isinstance(extent_type, CollectionType)
+        assert extent_type.monoid_name == "set"
+
+    def test_schema_unknown_lookups(self, schema):
+        with pytest.raises(KeyError):
+            schema.extent_type("Ghost")
+        with pytest.raises(KeyError):
+            schema.class_type("Ghost")
+        with pytest.raises(KeyError):
+            schema.define_extent("X", "Ghost")
+
+
+class TestCalculusTyping:
+    def test_constants(self):
+        assert infer_type(const(True)) == BOOL
+        assert infer_type(const(3)) == INT
+        assert infer_type(const(3.5)) == FLOAT
+        assert infer_type(const("x")) == STRING
+
+    def test_null_is_any(self):
+        assert infer_type(Null()) == ANY
+
+    def test_unbound_variable(self):
+        with pytest.raises(CalculusTypeError, match="unbound"):
+            infer_type(var("x"))
+
+    def test_env_lookup(self):
+        assert infer_type(var("x"), env={"x": INT}) == INT
+
+    def test_extent_with_schema(self, schema):
+        t = infer_type(Extent("Employees"), schema)
+        assert t == schema.extent_type("Employees")
+
+    def test_extent_without_schema(self):
+        assert infer_type(Extent("X")) == set_of(ANY)
+
+    def test_record_and_projection(self, schema):
+        comp = comprehension("set", path("e", "age"), ("e", Extent("Employees")))
+        assert infer_type(comp, schema) == set_of(INT)
+
+    def test_projection_of_missing_attribute(self, schema):
+        comp = comprehension("set", path("e", "ghost"), ("e", Extent("Employees")))
+        with pytest.raises(CalculusTypeError, match="ghost"):
+            infer_type(comp, schema)
+
+    def test_projection_of_scalar(self):
+        with pytest.raises(CalculusTypeError, match="non-record"):
+            infer_type(Proj(const(1), "a"))
+
+    def test_arithmetic(self):
+        assert infer_type(BinOp("+", const(1), const(2))) == INT
+        assert infer_type(BinOp("+", const(1), const(2.0))) == FLOAT
+        assert infer_type(BinOp("/", const(1), const(2))) == FLOAT
+
+    def test_arithmetic_type_error(self):
+        with pytest.raises(CalculusTypeError, match="non-numeric"):
+            infer_type(BinOp("+", const(1), const("x")))
+
+    def test_comparison(self):
+        assert infer_type(BinOp("<", const(1), const(2))) == BOOL
+        with pytest.raises(CalculusTypeError):
+            infer_type(BinOp("<", const(1), const("x")))
+
+    def test_boolean_ops(self):
+        assert infer_type(BinOp("and", const(True), const(False))) == BOOL
+        with pytest.raises(CalculusTypeError, match="not bool"):
+            infer_type(BinOp("and", const(1), const(True)))
+
+    def test_if(self):
+        assert infer_type(If(const(True), const(1), const(2))) == INT
+        with pytest.raises(CalculusTypeError, match="condition"):
+            infer_type(If(const(1), const(1), const(2)))
+        with pytest.raises(CalculusTypeError, match="branches"):
+            infer_type(If(const(True), const(1), const("x")))
+
+    def test_lambda_and_apply(self):
+        fn = Lambda("x", const(1))
+        assert isinstance(infer_type(fn), FunctionType)
+        assert infer_type(Apply(fn, const(5))) == INT
+        with pytest.raises(CalculusTypeError, match="non-function"):
+            infer_type(Apply(const(1), const(2)))
+
+    def test_let(self):
+        term = Let("x", const(1), BinOp("+", var("x"), const(1)))
+        assert infer_type(term) == INT
+
+    def test_not_and_isnull(self):
+        assert infer_type(Not(const(True))) == BOOL
+        assert infer_type(IsNull(const(1))) == BOOL
+
+    def test_collection_constructors(self):
+        assert infer_type(Zero("set")) == set_of(ANY)
+        assert infer_type(Singleton("set", const(1))) == set_of(INT)
+        merged = Merge("set", Singleton("set", const(1)), Zero("set"))
+        assert infer_type(merged) == set_of(INT)
+
+    def test_comprehension_monoid_carriers(self, schema):
+        emp = ("e", Extent("Employees"))
+        assert infer_type(comprehension("sum", path("e", "age"), emp), schema) == FLOAT
+        assert infer_type(
+            comprehension("all", BinOp(">", path("e", "age"), const(1)), emp), schema
+        ) == BOOL
+        assert infer_type(comprehension("avg", path("e", "salary"), emp), schema) == FLOAT
+
+    def test_quantifier_head_must_be_bool(self, schema):
+        with pytest.raises(CalculusTypeError, match="not bool"):
+            infer_type(
+                comprehension("all", path("e", "age"), ("e", Extent("Employees"))),
+                schema,
+            )
+
+    def test_aggregate_head_must_be_numeric(self, schema):
+        with pytest.raises(CalculusTypeError, match="not numeric"):
+            infer_type(
+                comprehension("sum", path("e", "name"), ("e", Extent("Employees"))),
+                schema,
+            )
+
+    def test_generator_over_non_collection(self):
+        with pytest.raises(CalculusTypeError, match="non-collection"):
+            infer_type(comprehension("set", var("x"), ("x", const(1))))
+
+    def test_set_into_list_ill_formed(self):
+        inner = Singleton("set", const(1))
+        with pytest.raises(CalculusTypeError, match="non-commutative"):
+            infer_type(comprehension("list", var("x"), ("x", inner)))
+
+    def test_filter_must_be_bool(self, schema):
+        with pytest.raises(CalculusTypeError, match="filter"):
+            infer_type(
+                comprehension(
+                    "set", var("e"), ("e", Extent("Employees")), path("e", "age")
+                ),
+                schema,
+            )
+
+
+class TestAlgebraTyping:
+    def test_scan_select_reduce(self, schema):
+        plan = Reduce(
+            Select(Scan("Employees", "e"), BinOp(">", path("e", "age"), const(30))),
+            "set",
+            path("e", "name"),
+        )
+        assert infer_plan_type(plan, schema) == set_of(STRING)
+
+    def test_join_types_merge(self, schema):
+        plan = Reduce(
+            Join(Scan("Employees", "e"), Scan("Employees", "u"),
+                 BinOp("==", path("e", "age"), path("u", "age"))),
+            "sum",
+            const(1),
+        )
+        assert infer_plan_type(plan, schema) == FLOAT
+
+    def test_bad_predicate_rejected(self, schema):
+        plan = Reduce(
+            Select(Scan("Employees", "e"), path("e", "age")),
+            "set",
+            var("e"),
+        )
+        with pytest.raises(AlgebraTypeError, match="expected bool"):
+            infer_plan_type(plan, schema)
+
+    def test_unnest_requires_collection(self, schema):
+        plan = Reduce(
+            Unnest(Scan("Employees", "e"), path("e", "age"), "x"),
+            "sum",
+            const(1),
+        )
+        with pytest.raises(AlgebraTypeError, match="non-collection"):
+            infer_plan_type(plan, schema)
+
+    def test_nest_output_type(self, schema):
+        nest = Nest(
+            OuterJoin(Scan("Employees", "e"), Scan("Employees", "u"),
+                      BinOp("==", path("e", "age"), path("u", "age"))),
+            "sum",
+            path("u", "salary"),
+            ("e",),
+            ("u",),
+            "m",
+        )
+        plan = Reduce(nest, "set", record(E=path("e", "name"), M=var("m")))
+        result = infer_plan_type(plan, schema)
+        assert result == set_of(record_of(E=STRING, M=FLOAT))
+
+    def test_stream_root_rejected(self, schema):
+        with pytest.raises(AlgebraTypeError, match="rooted at"):
+            infer_plan_type(Scan("Employees", "e"), schema)
+
+    def test_unknown_extent_is_any(self):
+        plan = Reduce(Scan("Mystery", "x"), "set", var("x"))
+        assert infer_plan_type(plan) == set_of(ANY)
