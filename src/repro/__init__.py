@@ -43,6 +43,7 @@ from repro.core.normalization import (
     prepare,
 )
 from repro.core.optimizer import CompiledQuery, Optimizer, OptimizerOptions
+from repro.core.pipeline import PIPELINE_STAGES, PlanCache, QueryPipeline, StageResult
 from repro.core.simplification import simplify
 from repro.core.unnesting import UnnestingTrace, unnest, unnest_query
 from repro.data.database import Database
@@ -52,7 +53,9 @@ from repro.data.datagen import (
     travel_database,
     university_database,
 )
+from repro.engine.executor import ExecutionStats, run_with_stats
 from repro.engine.planner import PlannerOptions, execute, plan_physical
+from repro.oql.params import parameterize_literals
 from repro.oql.parser import parse
 from repro.oql.translator import parse_and_translate, translate
 
@@ -62,9 +65,14 @@ __all__ = [
     "CompiledQuery",
     "Database",
     "Evaluator",
+    "ExecutionStats",
     "Optimizer",
     "OptimizerOptions",
+    "PIPELINE_STAGES",
+    "PlanCache",
     "PlannerOptions",
+    "QueryPipeline",
+    "StageResult",
     "UnnestingTrace",
     "ab_database",
     "canonicalize",
@@ -77,6 +85,7 @@ __all__ = [
     "infer_type",
     "normalize",
     "normalize_predicates",
+    "parameterize_literals",
     "parse",
     "parse_and_translate",
     "plan_physical",
@@ -84,6 +93,7 @@ __all__ = [
     "prepare",
     "pretty",
     "pretty_plan",
+    "run_with_stats",
     "simplify",
     "translate",
     "travel_database",

@@ -33,6 +33,7 @@ from repro.calculus.terms import (
     Merge,
     Not,
     Null,
+    Param,
     Proj,
     RecordCons,
     Singleton,
@@ -45,6 +46,14 @@ from repro.data.values import NULL, CollectionValue, Record, is_null
 
 class EvaluationError(Exception):
     """Raised when a term cannot be evaluated (bad types, unbound names)."""
+
+
+class UnboundParameterError(EvaluationError):
+    """A :class:`~repro.calculus.terms.Param` has no bound value.
+
+    Raised when a prepared statement is executed without supplying every
+    ``:name`` placeholder (see ``CompiledQuery.bind``).
+    """
 
 
 class ExtentProvider:
@@ -64,8 +73,13 @@ class Evaluator:
     benchmarks use as a machine-independent cost measure alongside wall time.
     """
 
-    def __init__(self, database: ExtentProvider):
+    def __init__(
+        self,
+        database: ExtentProvider,
+        params: Mapping[str, Any] | None = None,
+    ):
         self._database = database
+        self.params = dict(params) if params else {}
         self.steps = 0
 
     def evaluate(self, term: Term, env: Mapping[str, Any] | None = None) -> Any:
@@ -93,6 +107,15 @@ class Evaluator:
 
     def _eval_null(self, term: Null, env: dict[str, Any]) -> Any:
         return NULL
+
+    def _eval_param(self, term: Param, env: dict[str, Any]) -> Any:
+        try:
+            return self.params[term.name]
+        except KeyError:
+            raise UnboundParameterError(
+                f"parameter :{term.name} has no bound value; bound: "
+                f"{sorted(self.params)}"
+            ) from None
 
     def _eval_extent(self, term: Extent, env: dict[str, Any]) -> Any:
         return self._database.extent(term.name)
@@ -252,6 +275,7 @@ Evaluator._DISPATCH = {
     Var: Evaluator._eval_var,
     Const: Evaluator._eval_const,
     Null: Evaluator._eval_null,
+    Param: Evaluator._eval_param,
     Extent: Evaluator._eval_extent,
     RecordCons: Evaluator._eval_record,
     Proj: Evaluator._eval_proj,
@@ -296,6 +320,11 @@ def apply_binop(op: str, left: Any, right: Any) -> Any:
     raise EvaluationError(f"unknown operator {op!r}")
 
 
-def evaluate(term: Term, database: ExtentProvider, env: Mapping[str, Any] | None = None) -> Any:
+def evaluate(
+    term: Term,
+    database: ExtentProvider,
+    env: Mapping[str, Any] | None = None,
+    params: Mapping[str, Any] | None = None,
+) -> Any:
     """Convenience wrapper: evaluate *term* against *database*."""
-    return Evaluator(database).evaluate(term, env)
+    return Evaluator(database, params).evaluate(term, env)

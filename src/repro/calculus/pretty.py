@@ -23,6 +23,7 @@ from repro.calculus.terms import (
     Merge,
     Not,
     Null,
+    Param,
     Proj,
     RecordCons,
     Singleton,
@@ -50,6 +51,8 @@ def pretty(term: Term) -> str:
         return str(term.value)
     if isinstance(term, Null):
         return "NULL"
+    if isinstance(term, Param):
+        return f":{term.name}"
     if isinstance(term, Extent):
         return term.name
     if isinstance(term, RecordCons):

@@ -73,6 +73,22 @@ class Extent(Term):
     name: str
 
 
+@dataclass(frozen=True)
+class Param(Term):
+    """A prepared-statement placeholder (OQL ``:name``).
+
+    A parameter behaves like a constant whose value is supplied at execution
+    time (:meth:`repro.core.pipeline.CompiledQuery.bind`): it has no free
+    variables, so normalization, unnesting, and physical planning treat it
+    exactly like a literal — the same plan serves every binding.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})"
+
+
 # ---------------------------------------------------------------------------
 # Records
 # ---------------------------------------------------------------------------
@@ -491,6 +507,13 @@ def free_vars(term: Term) -> frozenset[str]:
     for child in term.children():
         result |= free_vars(child)
     return result
+
+
+def param_names(term: Term) -> frozenset[str]:
+    """The names of every :class:`Param` placeholder inside *term*."""
+    return frozenset(
+        sub.name for sub in subterms(term) if isinstance(sub, Param)
+    )
 
 
 def bound_vars(term: Term) -> frozenset[str]:

@@ -31,6 +31,7 @@ from repro.calculus.terms import (
     Merge,
     Not,
     Null,
+    Param,
     Proj,
     RecordCons,
     Singleton,
@@ -103,6 +104,10 @@ class TypeChecker:
             return self._const_type(term)
         if isinstance(term, Null):
             return ANY  # NULL inhabits every type domain
+        if isinstance(term, Param):
+            # A placeholder's value arrives at bind time; like NULL it may
+            # inhabit any type domain at compile time.
+            return ANY
         if isinstance(term, Extent):
             if self._schema is not None and self._schema.has_extent(term.name):
                 return self._schema.extent_type(term.name)

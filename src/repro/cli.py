@@ -8,13 +8,20 @@ Usage::
     python -m repro            # interactive shell
 
 The interactive shell accepts OQL queries terminated by a semicolon and the
-meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus`` (toggle
-per-query output), ``\\db <name>`` (switch database), and ``\\quit``.
+meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus``,
+``\\stages`` (toggle per-query output), ``\\cache`` (plan-cache statistics),
+``\\db <name>`` (switch database), and ``\\quit``.
+
+Prepared-statement placeholders (``:name``) take their values from repeated
+``--param name=value`` flags::
+
+    python -m repro --param d=4 "select e.name from e in Employees where e.dno = :d"
 """
 
 from __future__ import annotations
 
 import argparse
+import ast as python_ast
 import sys
 import time
 from typing import Any, Callable
@@ -67,6 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--calculus", action="store_true", help="print the calculus translation"
+    )
+    parser.add_argument(
+        "--stages",
+        action="store_true",
+        help="print every pipeline stage's intermediate form and wall time",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help=(
+            "bind a :name prepared-statement parameter (repeatable); the "
+            "value is parsed as a Python literal, falling back to a string"
+        ),
     )
     parser.add_argument(
         "--naive",
@@ -130,6 +152,20 @@ def _cell(value: Any, max_width: int = 36) -> str:
     return text
 
 
+def parse_param(text: str) -> tuple[str, Any]:
+    """Parse a ``name=value`` CLI binding; the value is a Python literal
+    when it parses as one (``4``, ``1.5``, ``None``, ``[1, 2]``) and a plain
+    string otherwise."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise ValueError(f"--param expects NAME=VALUE, got {text!r}")
+    try:
+        value = python_ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return name, value
+
+
 def run_query(
     source: str,
     db: Database,
@@ -138,18 +174,26 @@ def run_query(
     show_explain: bool = False,
     show_trace: bool = False,
     show_calculus: bool = False,
+    show_stages: bool = False,
     compare_naive: bool = False,
     unnest: bool = True,
     optimizer: Optimizer | None = None,
+    params: dict[str, Any] | None = None,
     out=None,
 ) -> None:
     """Compile and run one OQL query, printing the requested artifacts."""
     out = out if out is not None else sys.stdout
+    params = params or {}
     if optimizer is None:
         optimizer = Optimizer(db, OptimizerOptions(unnest=unnest))
     compiled = optimizer.compile_oql(source)
+    # The REPL keeps one \set binding table across queries; only forward the
+    # names this query actually declares.
+    params = {k: v for k, v in params.items() if k in compiled.param_names}
     if show_calculus:
         print("calculus:", pretty(compiled.term), file=out)
+    if show_stages:
+        print(compiled.explain_stages(), file=out)
     if show_trace and compiled.trace is not None:
         print("unnesting trace:", file=out)
         for entry in compiled.trace.entries:
@@ -162,7 +206,7 @@ def run_query(
         print(compiled.explain(db), file=out)
 
     start = time.perf_counter()
-    result = compiled.execute(db)
+    result = compiled.execute(db, **params)
     elapsed = (time.perf_counter() - start) * 1000
     print(format_result(result), file=out)
     print(f"({elapsed:.2f} ms)", file=out)
@@ -170,7 +214,7 @@ def run_query(
     if compare_naive and unnest:
         naive = Optimizer(db, OptimizerOptions(unnest=False)).compile_oql(source)
         start = time.perf_counter()
-        naive_result = naive.execute(db)
+        naive_result = naive.execute(db, **params)
         naive_ms = (time.perf_counter() - start) * 1000
         agree = "results agree" if naive_result == result else "RESULTS DIFFER!"
         print(
@@ -185,11 +229,19 @@ def repl(db_name: str, out=None) -> None:
     out = out if out is not None else sys.stdout
     db = DATABASES[db_name]()
     optimizer = Optimizer(db)
-    flags = {"plan": False, "explain": False, "trace": False, "calculus": False}
+    flags = {
+        "plan": False,
+        "explain": False,
+        "trace": False,
+        "calculus": False,
+        "stages": False,
+    }
+    params: dict[str, Any] = {}
     print(
         f"repro OQL shell — database '{db_name}' ({db!r}).\n"
         "End queries with ';' (views: 'define <name> as <query>;').\n"
-        "Meta: \\plan \\explain \\trace \\calculus \\views \\db <name> \\quit",
+        "Meta: \\plan \\explain \\trace \\calculus \\stages \\cache "
+        "\\set name=value \\params \\views \\db <name> \\quit",
         file=out,
     )
     buffer: list[str] = []
@@ -224,6 +276,32 @@ def repl(db_name: str, out=None) -> None:
                 else:
                     print("  (no views defined)", file=out)
                 continue
+            if command == "cache":
+                print(f"  {optimizer.plan_cache!r}", file=out)
+                counts = optimizer.stage_counts
+                if counts:
+                    ran = ", ".join(
+                        f"{name}: {counts[name]}"
+                        for name in sorted(counts, key=counts.get, reverse=True)
+                    )
+                    print(f"  stage runs — {ran}", file=out)
+                continue
+            if command == "set":
+                try:
+                    name, value = parse_param(argument)
+                except ValueError as exc:
+                    print(f"error: {exc}", file=out)
+                    continue
+                params[name] = value
+                print(f"  :{name} = {value!r}", file=out)
+                continue
+            if command == "params":
+                if params:
+                    for name in sorted(params):
+                        print(f"  :{name} = {params[name]!r}", file=out)
+                else:
+                    print("  (no parameters set)", file=out)
+                continue
             print(f"unknown meta-command \\{command}", file=out)
             continue
         buffer.append(line)
@@ -245,7 +323,9 @@ def repl(db_name: str, out=None) -> None:
                     show_explain=flags["explain"],
                     show_trace=flags["trace"],
                     show_calculus=flags["calculus"],
+                    show_stages=flags["stages"],
                     optimizer=optimizer,
+                    params=params,
                     out=out,
                 )
         except Exception as exc:  # noqa: BLE001 - REPL survives bad queries
@@ -260,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     db = DATABASES[args.db]()
     try:
+        params = dict(parse_param(binding) for binding in args.param)
         run_query(
             args.query,
             db,
@@ -267,8 +348,10 @@ def main(argv: list[str] | None = None) -> int:
             show_explain=args.explain,
             show_trace=args.trace,
             show_calculus=args.calculus,
+            show_stages=args.stages,
             compare_naive=args.naive,
             unnest=not args.no_unnest,
+            params=params,
         )
     except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes
         print(f"error: {exc}", file=sys.stderr)

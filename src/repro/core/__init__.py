@@ -1,9 +1,16 @@
 """The paper's primary contribution: normalization (N1-N9), the unnesting
-algorithm (C1-C9), the Section 5 simplification, and the optimizer."""
+algorithm (C1-C9), the Section 5 simplification, and the staged
+optimizer pipeline."""
 
 from repro.core.classify import NestingReport, classify, classify_oql
 from repro.core.normalization import canonicalize, normalize, normalize_predicates, prepare
 from repro.core.optimizer import CompiledQuery, Optimizer, OptimizerOptions
+from repro.core.pipeline import (
+    PIPELINE_STAGES,
+    PlanCache,
+    QueryPipeline,
+    StageResult,
+)
 from repro.core.simplification import simplify
 from repro.core.unnesting import UnnestingError, UnnestingTrace, unnest, unnest_query
 
@@ -12,6 +19,10 @@ __all__ = [
     "NestingReport",
     "Optimizer",
     "OptimizerOptions",
+    "PIPELINE_STAGES",
+    "PlanCache",
+    "QueryPipeline",
+    "StageResult",
     "UnnestingError",
     "UnnestingTrace",
     "canonicalize",

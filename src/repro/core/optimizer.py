@@ -1,19 +1,25 @@
-"""The full OQL optimizer pipeline (paper Section 6).
+"""The OQL optimizer: algebraic rules, join permutation, and the facade.
 
 The paper's prototype combines query unnesting with "other optimization
 techniques, such as materialization of path expressions into joins,
 performing selections as early as possible, rearranging join orders,
-choosing access paths, assigning evaluation algorithms to operators".  This
-module is the corresponding driver:
+choosing access paths, assigning evaluation algorithms to operators".  The
+stage cascade itself lives in :mod:`repro.core.pipeline`
+(:class:`~repro.core.pipeline.QueryPipeline`):
 
     OQL text
       → parse → translate             (repro.oql)
-      → normalize + canonicalize      (repro.core.normalization,  phase "normalization")
-      → unnest C1–C9                  (repro.core.unnesting,      phase "unnesting")
-      → simplify §5                   (repro.core.simplification, phase "simplification")
-      → algebraic rewrites            (this module,               phase "algebraic")
-      → join permutation              (this module + cost model,  phase "join-order")
-      → physical planning             (repro.engine.planner,      phase "physical")
+      → normalize + canonicalize      (repro.core.normalization,  stage "normalize")
+      → unnest C1–C9                  (repro.core.unnesting,      stage "unnest")
+      → simplify §5                   (repro.core.simplification, stage "simplify")
+      → algebraic rewrites            (this module,               stage "optimize")
+      → join permutation              (this module + cost model,  stage "optimize")
+      → physical planning             (repro.engine.planner,      stage "plan")
+
+This module keeps what is genuinely the *optimizer's* substance — the
+:data:`ALGEBRAIC_RULES` rule set ("performing selections as early as
+possible") and the cost-based :func:`reorder_joins` — plus
+:class:`Optimizer`, the backward-compatible name for the pipeline.
 
 Every phase can be switched off through :class:`OptimizerOptions`; with
 ``unnest=False`` the query is executed by direct calculus interpretation —
@@ -29,8 +35,7 @@ work to do and is intentionally absent.  See DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.algebra.operators import (
     Join,
@@ -43,16 +48,26 @@ from repro.algebra.operators import (
     Select,
     Unnest,
 )
-from repro.calculus.evaluator import Evaluator
 from repro.calculus.terms import Term, conj, conjuncts, free_vars
-from repro.core.normalization import prepare
-from repro.core.rewrite import RewriteEngine, RuleSet
-from repro.core.simplification import simplify
-from repro.core.unnesting import UnnestingTrace, unnest, _uniquify
-from repro.data.database import Database
+from repro.core.pipeline import (
+    CompiledQuery,
+    PlanCache,
+    QueryPipeline,
+    StageResult,
+)
+from repro.core.rewrite import RuleSet
 from repro.engine.cost import CostModel
-from repro.engine.planner import PlannerOptions, plan_physical
-from repro.engine.physical import PEval, PReduce, PhysicalOperator
+
+__all__ = [
+    "ALGEBRAIC_RULES",
+    "CompiledQuery",
+    "Optimizer",
+    "OptimizerOptions",
+    "PlanCache",
+    "QueryPipeline",
+    "StageResult",
+    "reorder_joins",
+]
 
 
 @dataclass(frozen=True)
@@ -293,172 +308,17 @@ def _rebuild_joins(
 
 
 # ---------------------------------------------------------------------------
-# The compiled query object and the optimizer driver
+# The optimizer facade
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class CompiledQuery:
-    """Everything the pipeline produced for one query."""
+class Optimizer(QueryPipeline):
+    """The end-to-end OQL optimizer (the pipeline's historical name).
 
-    source: str | None
-    term: Term  # calculus translation (before normalization)
-    prepared: Term  # normalized, canonicalized, alpha-unique
-    logical: Operator | None  # unnested plan (None when unnesting is off)
-    optimized: Operator | None  # after simplification + algebraic phases
-    trace: UnnestingTrace | None
-    options: OptimizerOptions
-    rule_firings: list = field(default_factory=list)
-    #: ORDER BY keys over the result element (engine extension; the paper
-    #: defers list monoids).  Each entry is (key term, ascending).
-    order_by: tuple = ()
-
-    def execute(self, database: Database) -> Any:
-        """Run the query against *database* using the compiled strategy."""
-        if self.optimized is None:
-            # Naive nested-loop evaluation of the calculus form.
-            result = Evaluator(database).evaluate(self.prepared)
-        else:
-            physical = self.physical(database)
-            assert isinstance(physical, (PReduce, PEval))
-            result = physical.value()
-        if self.order_by:
-            result = _apply_order(result, self.order_by, database)
-        return result
-
-    def physical(self, database: Database) -> PhysicalOperator:
-        if self.optimized is None:
-            raise ValueError("no algebraic plan: query compiled with unnest=False")
-        return plan_physical(
-            self.optimized,
-            database,
-            PlannerOptions(hash_joins=self.options.hash_joins),
-        )
-
-    def explain(self, database: Database) -> str:
-        """An EXPLAIN-style report of the physical plan."""
-        return self.physical(database).explain()
-
-
-def _apply_order(result: Any, order_by: tuple, database: Database) -> Any:
-    """Sort a collection result into a list by the ORDER BY keys."""
-    from repro.data.values import CollectionValue, ListValue, Record
-
-    if not isinstance(result, CollectionValue):
-        raise TypeError("ORDER BY applies to collection-valued queries only")
-    evaluator = Evaluator(database)
-
-    def env_of(element: Any) -> dict[str, Any]:
-        env = {"value": element}
-        if isinstance(element, Record):
-            env.update(element)
-        return env
-
-    elements = list(result.elements())
-    # Stable sorts applied from the least to the most significant key.
-    for key_term, ascending in reversed(order_by):
-        elements.sort(
-            key=lambda element: evaluator.evaluate(key_term, env_of(element)),
-            reverse=not ascending,
-        )
-    return ListValue(elements)
-
-
-class Optimizer:
-    """The end-to-end OQL optimizer."""
-
-    def __init__(
-        self,
-        database: Database | None = None,
-        options: OptimizerOptions | None = None,
-    ):
-        self.database = database
-        self.options = options or OptimizerOptions()
-        self.cost_model = CostModel(database)
-        #: Named views (``define name as query``), inlined at translation.
-        self.views: dict = {}
-
-    def define_view(self, source: str) -> str:
-        """Register a view from a ``define name as query`` statement.
-
-        Returns the view's name.  The body may reference previously
-        defined views.
-        """
-        from repro.oql import ast as oql_ast
-        from repro.oql.parser import parse_statement
-
-        statement = parse_statement(source)
-        if not isinstance(statement, oql_ast.Define):
-            raise ValueError("expected a 'define <name> as <query>' statement")
-        self.views[statement.name] = statement.query
-        return statement.name
-
-    def compile_oql(self, source: str) -> CompiledQuery:
-        """Compile an OQL query string."""
-        from repro.oql import ast as oql_ast
-        from repro.oql.parser import parse
-        from repro.oql.translator import (
-            peel_order_by,
-            translate,
-            translate_order_keys,
-        )
-
-        schema = self.database.schema if self.database is not None else None
-        parsed = parse(source)
-        stripped, order_items = peel_order_by(parsed)
-        term = translate(stripped, schema, self.views)
-        compiled = self.compile_term(term, source=source)
-        if order_items:
-            assert isinstance(stripped, oql_ast.Select)
-            compiled.order_by = translate_order_keys(order_items, stripped, schema)
-        return compiled
-
-    def run_statement(self, source: str):
-        """Execute a statement: a DEFINE registers a view (returns its
-        name); anything else compiles and runs as a query."""
-        stripped = source.lstrip().lower()
-        if stripped.startswith("define"):
-            return self.define_view(source)
-        return self.run_oql(source)
-
-    def compile_term(self, term: Term, source: str | None = None) -> CompiledQuery:
-        """Compile a calculus term."""
-        options = self.options
-        if options.typecheck:
-            from repro.calculus.typing import infer_type
-
-            schema = self.database.schema if self.database is not None else None
-            infer_type(term, schema)
-        prepared = _uniquify(prepare(term))
-        if not options.unnest:
-            return CompiledQuery(
-                source, term, prepared, None, None, None, options
-            )
-        trace = UnnestingTrace()
-        logical = unnest(prepared, trace)
-        optimized = logical
-        engine = RewriteEngine()
-        if options.simplify:
-            optimized = simplify(optimized)
-        if options.algebraic:
-            optimized = engine.run_phase(ALGEBRAIC_RULES, optimized)
-        if options.reorder_joins:
-            optimized = reorder_joins(optimized, self.cost_model)
-            if options.algebraic:
-                # Reordering can expose new pushdown opportunities.
-                optimized = engine.run_phase(ALGEBRAIC_RULES, optimized)
-        if options.typecheck:
-            from repro.algebra.typing import infer_plan_type
-
-            schema = self.database.schema if self.database is not None else None
-            infer_plan_type(optimized, schema)
-        return CompiledQuery(
-            source, term, prepared, logical, optimized, trace, options,
-            rule_firings=engine.firings,
-        )
-
-    def run_oql(self, source: str) -> Any:
-        """Compile and execute an OQL query in one call."""
-        if self.database is None:
-            raise ValueError("optimizer has no database to run against")
-        return self.compile_oql(source).execute(self.database)
+    Since the staged-pipeline refactor this is exactly
+    :class:`repro.core.pipeline.QueryPipeline` — same constructor, same
+    entry points (``compile_oql``, ``compile_term``, ``run_oql``,
+    ``run_statement``, ``define_view``), plus the plan cache and per-stage
+    instrumentation — kept under the paper-era name so existing imports and
+    documentation continue to work.
+    """

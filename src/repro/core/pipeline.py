@@ -1,0 +1,530 @@
+"""The staged query pipeline: compilation as explicit, instrumented stages.
+
+The paper's Section 6 prototype is a fixed cascade — parse, translate to the
+monoid calculus, normalize, unnest (C1–C9), simplify (§5), algebraic
+rewrites + join permutation, physical planning.  Historically this repo ran
+that cascade inside one monolithic ``compile`` function; this module makes
+each step a named **stage** that records what it produced, how long it took,
+and a pretty-printed snapshot of the intermediate form, so ``explain`` can
+show every representation a query passes through:
+
+    parse → translate → typecheck → normalize → unnest → simplify
+          → optimize → plan
+
+On top of the staged compiler sit the two serving-layer features:
+
+* **prepared statements** — OQL ``:name`` placeholders compile into
+  :class:`~repro.calculus.terms.Param` terms; the same
+  :class:`CompiledQuery` is then :meth:`~CompiledQuery.bind`-able to any
+  parameter values, so one plan serves every binding;
+* a **plan cache** — :class:`PlanCache` is an LRU keyed by the
+  whitespace-normalized source, the database's schema version, the option
+  set, and the view-definition epoch, with hit/miss counters surfaced
+  through :class:`~repro.engine.executor.ExecutionStats`.
+
+:class:`repro.core.optimizer.Optimizer` is the backward-compatible facade:
+a :class:`QueryPipeline` subclass that keeps the historical entry-point
+names.  (This module deliberately imports the rewrite-rule definitions
+lazily so that ``repro.core.optimizer`` can import it without a cycle.)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.algebra.operators import Operator
+from repro.algebra.pretty import pretty_plan
+from repro.calculus.evaluator import Evaluator, UnboundParameterError
+from repro.calculus.pretty import pretty
+from repro.calculus.terms import Term, param_names
+from repro.core.normalization import prepare
+from repro.core.rewrite import RewriteEngine
+from repro.core.simplification import simplify
+from repro.core.unnesting import UnnestingTrace, unnest, _uniquify
+from repro.data.database import Database
+from repro.engine.cost import CostModel
+from repro.engine.executor import ExecutionStats, run_with_stats
+from repro.engine.planner import PlannerOptions, plan_physical
+from repro.engine.physical import PEval, PReduce, PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.optimizer import OptimizerOptions
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "CompiledQuery",
+    "PlanCache",
+    "QueryPipeline",
+    "StageResult",
+]
+
+#: The stage names, in pipeline order.  A given compilation records a subset:
+#: ``parse``/``translate`` only appear when compiling from OQL text,
+#: ``typecheck`` only with ``OptimizerOptions.typecheck``, the algebraic
+#: stages only with their phase switches on, and ``plan`` only when the
+#: pipeline has a database to bind the physical plan to.
+PIPELINE_STAGES = (
+    "parse",
+    "translate",
+    "typecheck",
+    "normalize",
+    "unnest",
+    "simplify",
+    "optimize",
+    "plan",
+)
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One pipeline stage's outcome: what it made, how long it took.
+
+    ``snapshot`` is a pretty-printed rendering of the intermediate form the
+    stage produced (OQL text, calculus term, algebraic plan, or physical
+    plan) — the raw object is in ``value``.
+    """
+
+    name: str
+    elapsed_ms: float
+    snapshot: str
+    value: Any = field(repr=False, default=None)
+
+
+class PlanCache:
+    """A tiny LRU cache of :class:`CompiledQuery` objects.
+
+    Keys combine the whitespace-normalized query text with everything else
+    that determines the plan: the database's
+    :attr:`~repro.data.database.Database.schema_version`, the
+    ``OptimizerOptions``, and the pipeline's view-definition epoch — so a
+    schema change or view redefinition can never serve a stale plan.
+
+    >>> cache = PlanCache(maxsize=2)
+    >>> cache.lookup("k") is None
+    True
+    >>> cache.hits, cache.misses
+    (0, 1)
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[Any, CompiledQuery] = OrderedDict()
+
+    def lookup(self, key: Any) -> CompiledQuery | None:
+        """The cached plan for *key*, or None; updates the hit/miss counters."""
+        try:
+            compiled = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return compiled
+
+    def store(self, key: Any, compiled: CompiledQuery) -> None:
+        """Insert a plan, evicting the least recently used beyond maxsize."""
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({len(self._entries)}/{self.maxsize} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the pipeline produced for one query.
+
+    A compiled query is a *template*: any :class:`~repro.calculus.terms.Param`
+    placeholders (OQL ``:name``) stay symbolic in the plan, and values are
+    supplied per execution via :meth:`bind` or ``execute(db, name=value)``.
+    Cached instances are shared, so :meth:`bind` returns a copy instead of
+    mutating.
+    """
+
+    source: str | None
+    term: Term  # calculus translation (before normalization)
+    prepared: Term  # normalized, canonicalized, alpha-unique
+    logical: Operator | None  # unnested plan (None when unnesting is off)
+    optimized: Operator | None  # after simplification + algebraic phases
+    trace: UnnestingTrace | None
+    options: "OptimizerOptions"
+    rule_firings: list = field(default_factory=list)
+    #: ORDER BY keys over the result element (engine extension; the paper
+    #: defers list monoids).  Each entry is (key term, ascending).
+    order_by: tuple = ()
+    #: Per-stage instrumentation, in execution order.
+    stages: tuple[StageResult, ...] = ()
+    #: Parameter values fixed by :meth:`bind` (merged with execute kwargs).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def param_names(self) -> frozenset[str]:
+        """The ``:name`` placeholders this query expects values for."""
+        return param_names(self.term)
+
+    def bind(self, **params: Any) -> "CompiledQuery":
+        """A copy of this query with the given parameter values fixed.
+
+        Later :meth:`bind` calls and ``execute`` keyword arguments override
+        earlier bindings.  Binding a name the query has no placeholder for
+        is an error (it would be silently ignored at run time otherwise).
+        """
+        unknown = set(params) - self.param_names
+        if unknown:
+            raise UnboundParameterError(
+                f"query has no parameter(s) {sorted(unknown)}; "
+                f"declared: {sorted(self.param_names)}"
+            )
+        return replace(self, params={**self.params, **params})
+
+    def _merged_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Bound values merged with per-call overrides, checked for coverage."""
+        if set(params) - self.param_names:
+            raise UnboundParameterError(
+                f"query has no parameter(s) "
+                f"{sorted(set(params) - self.param_names)}; "
+                f"declared: {sorted(self.param_names)}"
+            )
+        merged = {**self.params, **params}
+        missing = self.param_names - merged.keys()
+        if missing:
+            raise UnboundParameterError(
+                f"missing value(s) for parameter(s) {sorted(missing)}"
+            )
+        return merged
+
+    def execute(self, database: Database, **params: Any) -> Any:
+        """Run the query against *database* using the compiled strategy.
+
+        Keyword arguments supply (or override) parameter values for this
+        call only; every declared placeholder must end up with a value.
+        """
+        values = self._merged_params(params)
+        if self.optimized is None:
+            # Naive nested-loop evaluation of the calculus form.
+            result = Evaluator(database, values).evaluate(self.prepared)
+        else:
+            physical = self.physical(database, values)
+            assert isinstance(physical, (PReduce, PEval))
+            result = physical.value()
+        if self.order_by:
+            result = _apply_order(result, self.order_by, database, values)
+        return result
+
+    def physical(
+        self, database: Database, params: Mapping[str, Any] | None = None
+    ) -> PhysicalOperator:
+        """The physical plan bound to *database* (and parameter values)."""
+        if self.optimized is None:
+            raise ValueError("no algebraic plan: query compiled with unnest=False")
+        return plan_physical(
+            self.optimized,
+            database,
+            PlannerOptions(hash_joins=self.options.hash_joins),
+            params,
+        )
+
+    def explain(self, database: Database) -> str:
+        """An EXPLAIN-style report of the physical plan."""
+        return self.physical(database).explain()
+
+    def explain_stages(self) -> str:
+        """Every intermediate representation, one block per recorded stage.
+
+        The staged equivalent of EXPLAIN VERBOSE: shows the query as OQL,
+        as a calculus term before and after normalization, as an algebraic
+        plan through unnesting/simplification/optimization, and as a
+        physical plan — each with the stage's wall time.
+        """
+        if not self.stages:
+            return "(no stage records: query compiled without instrumentation)"
+        blocks = []
+        for stage in self.stages:
+            blocks.append(
+                f"== {stage.name} ({stage.elapsed_ms:.3f} ms) ==\n{stage.snapshot}"
+            )
+        return "\n\n".join(blocks)
+
+
+def _apply_order(
+    result: Any,
+    order_by: tuple,
+    database: Database,
+    params: Mapping[str, Any] | None = None,
+) -> Any:
+    """Sort a collection result into a list by the ORDER BY keys."""
+    from repro.data.values import CollectionValue, ListValue, Record
+
+    if not isinstance(result, CollectionValue):
+        raise TypeError("ORDER BY applies to collection-valued queries only")
+    evaluator = Evaluator(database, params)
+
+    def env_of(element: Any) -> dict[str, Any]:
+        env = {"value": element}
+        if isinstance(element, Record):
+            env.update(element)
+        return env
+
+    elements = list(result.elements())
+    # Stable sorts applied from the least to the most significant key.
+    for key_term, ascending in reversed(order_by):
+        elements.sort(
+            key=lambda element: evaluator.evaluate(key_term, env_of(element)),
+            reverse=not ascending,
+        )
+    return ListValue(elements)
+
+
+class QueryPipeline:
+    """The end-to-end OQL compiler/executor as an explicit stage sequence.
+
+    Each compilation runs the stages of :data:`PIPELINE_STAGES` that apply,
+    timing each one and recording a snapshot in the resulting
+    :class:`CompiledQuery`'s ``stages``; ``stage_counts`` accumulates how
+    often each stage ran across the pipeline's lifetime, which is how the
+    tests (and users) verify that a plan-cache hit skips recompilation.
+
+    Compiled plans are cached in :attr:`plan_cache`; anything that could
+    change the plan — new extents, new indexes, fresh statistics
+    (``Database.schema_version``), redefined views, different options —
+    changes the cache key, so stale plans are never served.
+    """
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        options: "OptimizerOptions | None" = None,
+        cache_size: int = 128,
+    ):
+        from repro.core.optimizer import OptimizerOptions
+
+        self.database = database
+        self.options = options or OptimizerOptions()
+        self.cost_model = CostModel(database)
+        #: Named views (``define name as query``), inlined at translation.
+        self.views: dict = {}
+        self.plan_cache = PlanCache(cache_size)
+        #: How many times each stage has actually run (cache hits add none).
+        self.stage_counts: Counter[str] = Counter()
+        self._views_epoch = 0
+
+    # -- statements ---------------------------------------------------------
+
+    def define_view(self, source: str) -> str:
+        """Register a view from a ``define name as query`` statement.
+
+        Returns the view's name.  The body may reference previously
+        defined views.  Redefinition bumps the view epoch, invalidating
+        every cached plan that might have inlined the old body.
+        """
+        from repro.oql import ast as oql_ast
+        from repro.oql.parser import parse_statement
+
+        statement = parse_statement(source)
+        if not isinstance(statement, oql_ast.Define):
+            raise ValueError("expected a 'define <name> as <query>' statement")
+        self.views[statement.name] = statement.query
+        self._views_epoch += 1
+        return statement.name
+
+    def run_statement(self, source: str):
+        """Execute a statement: a DEFINE registers a view (returns its
+        name); anything else compiles and runs as a query."""
+        stripped = source.lstrip().lower()
+        if stripped.startswith("define"):
+            return self.define_view(source)
+        return self.run_oql(source)
+
+    # -- compilation --------------------------------------------------------
+
+    def cache_key(self, source: str) -> tuple:
+        """The plan-cache key for *source* under the current state."""
+        schema_version = (
+            self.database.schema_version if self.database is not None else None
+        )
+        return (
+            " ".join(source.split()),
+            schema_version,
+            self.options,
+            self._views_epoch,
+        )
+
+    def compile_oql(self, source: str) -> CompiledQuery:
+        """Compile an OQL query string, consulting the plan cache first."""
+        key = self.cache_key(source)
+        cached = self.plan_cache.lookup(key)
+        if cached is not None:
+            return cached
+        compiled = self._compile_source(source)
+        self.plan_cache.store(key, compiled)
+        return compiled
+
+    def compile_term(self, term: Term, source: str | None = None) -> CompiledQuery:
+        """Compile a calculus term (entering the pipeline after translate)."""
+        stages: list[StageResult] = []
+        return self._compile_from_term(term, source, stages)
+
+    def _compile_source(self, source: str) -> CompiledQuery:
+        """Run the full stage cascade on OQL text (no cache involvement)."""
+        from repro.oql import ast as oql_ast
+        from repro.oql.parser import parse
+        from repro.oql.pretty import unparse
+        from repro.oql.translator import (
+            peel_order_by,
+            translate,
+            translate_order_keys,
+        )
+
+        schema = self.database.schema if self.database is not None else None
+        stages: list[StageResult] = []
+
+        parsed = self._stage(stages, "parse", lambda: parse(source), unparse)
+        stripped, order_items = peel_order_by(parsed)
+        term = self._stage(
+            stages,
+            "translate",
+            lambda: translate(stripped, schema, self.views),
+            pretty,
+        )
+        compiled = self._compile_from_term(term, source, stages)
+        if order_items:
+            assert isinstance(stripped, oql_ast.Select)
+            compiled.order_by = translate_order_keys(order_items, stripped, schema)
+        return compiled
+
+    def _compile_from_term(
+        self, term: Term, source: str | None, stages: list[StageResult]
+    ) -> CompiledQuery:
+        """The stage cascade from the calculus term onward."""
+        from repro.core.optimizer import ALGEBRAIC_RULES, reorder_joins
+
+        options = self.options
+        schema = self.database.schema if self.database is not None else None
+        if options.typecheck:
+            from repro.calculus.typing import infer_type
+
+            self._stage(
+                stages, "typecheck", lambda: infer_type(term, schema), str
+            )
+        prepared = self._stage(
+            stages, "normalize", lambda: _uniquify(prepare(term)), pretty
+        )
+        if not options.unnest:
+            return CompiledQuery(
+                source, term, prepared, None, None, None, options,
+                stages=tuple(stages),
+            )
+        trace = UnnestingTrace()
+        logical = self._stage(
+            stages, "unnest", lambda: unnest(prepared, trace), pretty_plan
+        )
+        optimized = logical
+        engine = RewriteEngine()
+        if options.simplify:
+            optimized = self._stage(
+                stages, "simplify", lambda: simplify(logical), pretty_plan
+            )
+        if options.algebraic or options.reorder_joins:
+
+            def optimize() -> Operator:
+                plan = optimized
+                if options.algebraic:
+                    plan = engine.run_phase(ALGEBRAIC_RULES, plan)
+                if options.reorder_joins:
+                    plan = reorder_joins(plan, self.cost_model)
+                    if options.algebraic:
+                        # Reordering can expose new pushdown opportunities.
+                        plan = engine.run_phase(ALGEBRAIC_RULES, plan)
+                return plan
+
+            optimized = self._stage(stages, "optimize", optimize, pretty_plan)
+        if options.typecheck:
+            from repro.algebra.typing import infer_plan_type
+
+            infer_plan_type(optimized, schema)
+        if self.database is not None:
+            final = optimized
+            self._stage(
+                stages,
+                "plan",
+                lambda: plan_physical(
+                    final,
+                    self.database,
+                    PlannerOptions(hash_joins=options.hash_joins),
+                ),
+                lambda physical: physical.explain(),
+            )
+        return CompiledQuery(
+            source, term, prepared, logical, optimized, trace, options,
+            rule_firings=engine.firings, stages=tuple(stages),
+        )
+
+    def _stage(self, stages: list, name: str, fn, render) -> Any:
+        """Run one stage: time *fn*, snapshot via *render*, record, count."""
+        start = time.perf_counter()
+        value = fn()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.stage_counts[name] += 1
+        stages.append(StageResult(name, elapsed_ms, render(value), value))
+        return value
+
+    # -- execution ----------------------------------------------------------
+
+    def run_oql(self, source: str, **params: Any) -> Any:
+        """Compile (through the cache) and execute an OQL query."""
+        if self.database is None:
+            raise ValueError("pipeline has no database to run against")
+        return self.compile_oql(source).execute(self.database, **params)
+
+    def run_oql_stats(self, source: str, **params: Any) -> ExecutionStats:
+        """Compile (through the cache), execute, and collect statistics.
+
+        The returned :class:`~repro.engine.executor.ExecutionStats` carries
+        the plan-cache counters and whether *this* execution reused a
+        cached plan, alongside the usual per-operator row counts.
+        """
+        if self.database is None:
+            raise ValueError("pipeline has no database to run against")
+        hits_before = self.plan_cache.hits
+        compiled = self.compile_oql(source)
+        from_cache = self.plan_cache.hits > hits_before
+        values = compiled._merged_params(params)
+        if compiled.optimized is None:
+            start = time.perf_counter()
+            result = Evaluator(self.database, values).evaluate(compiled.prepared)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            stats = ExecutionStats(result=result, elapsed_ms=elapsed_ms)
+        else:
+            stats = run_with_stats(
+                compiled.optimized,
+                self.database,
+                PlannerOptions(hash_joins=compiled.options.hash_joins),
+                values,
+            )
+        if compiled.order_by:
+            stats.result = _apply_order(
+                stats.result, compiled.order_by, self.database, values
+            )
+        stats.cache_hits = self.plan_cache.hits
+        stats.cache_misses = self.plan_cache.misses
+        stats.from_cache = from_cache
+        return stats

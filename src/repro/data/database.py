@@ -34,6 +34,10 @@ class Database:
         self._extent_cache: dict[str, CollectionValue] = {}
         self._indexes: dict[tuple[str, str], dict[Any, list[Any]]] = {}
         self._statistics: dict[tuple[str, str], int] | None = None
+        #: Monotone counter bumped by every change that can alter plan choice
+        #: (extent contents, indexes, statistics).  The plan cache keys on it
+        #: so stale plans are never served after the database changes.
+        self.schema_version: int = 0
 
     def add_extent(
         self,
@@ -56,6 +60,7 @@ class Database:
         else:
             raise ValueError(f"unknown extent kind {kind!r}")
         self._extent_cache.clear()
+        self.schema_version += 1
 
     def extent(self, name: str) -> CollectionValue:
         """Resolve an extent by name (the ExtentProvider protocol).
@@ -131,6 +136,7 @@ class Database:
                         continue
             for attr, values in distinct.items():
                 self._statistics[(name, attr)] = len(values)
+        self.schema_version += 1
 
     def distinct_count(self, extent_name: str, attr: str) -> int | None:
         """Distinct values of ``extent.attr``, or None when not analyzed."""
@@ -156,6 +162,7 @@ class Database:
                 )
             table.setdefault(obj[attr], []).append(obj)
         self._indexes[(extent_name, attr)] = table
+        self.schema_version += 1
 
     def has_index(self, extent_name: str, attr: str) -> bool:
         return (extent_name, attr) in self._indexes

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.algebra.operators import Operator
 from repro.calculus.evaluator import ExtentProvider
@@ -29,11 +29,21 @@ class OperatorStats:
 
 @dataclass
 class ExecutionStats:
-    """The outcome of one measured execution."""
+    """The outcome of one measured execution.
+
+    ``cache_hits``/``cache_misses`` are the plan-cache counters at the time
+    the statistics were collected; ``from_cache`` records whether this
+    particular execution reused a cached plan (both are filled in by
+    :class:`repro.core.pipeline.QueryPipeline` — direct ``run_with_stats``
+    calls leave them at their defaults).
+    """
 
     result: Any
     elapsed_ms: float
     operators: list[OperatorStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    from_cache: bool = False
 
     @property
     def total_rows(self) -> int:
@@ -42,6 +52,12 @@ class ExecutionStats:
     def report(self) -> str:
         """An EXPLAIN ANALYZE style rendering."""
         lines = [f"execution: {self.elapsed_ms:.3f} ms, {self.total_rows} rows"]
+        if self.cache_hits or self.cache_misses:
+            source = "cached plan" if self.from_cache else "fresh compile"
+            lines[0] += (
+                f" ({source}; plan cache {self.cache_hits} hits /"
+                f" {self.cache_misses} misses)"
+            )
         for op in self.operators:
             lines.append(f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}]")
         return "\n".join(lines)
@@ -51,9 +67,10 @@ def run_with_stats(
     plan: Operator,
     database: ExtentProvider,
     options: PlannerOptions | None = None,
+    params: Mapping[str, Any] | None = None,
 ) -> ExecutionStats:
     """Plan, execute, and collect per-operator statistics."""
-    physical = plan_physical(plan, database, options)
+    physical = plan_physical(plan, database, options, params)
     if not isinstance(physical, (PReduce, PEval)):
         raise TypeError("a complete plan must be rooted at Reduce or Eval")
     start = time.perf_counter()

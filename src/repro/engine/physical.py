@@ -18,7 +18,7 @@ well as by wall-clock time.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.calculus.evaluator import EvaluationError, Evaluator as TermEvaluator, ExtentProvider
 from repro.calculus.monoids import CollectionMonoid, Monoid
@@ -59,11 +59,17 @@ class PhysicalOperator:
 
 
 class _Context:
-    """Shared per-execution state: the database and a term evaluator."""
+    """Shared per-execution state: the database, a term evaluator, and the
+    bound prepared-statement parameters (``:name`` placeholder values)."""
 
-    def __init__(self, database: ExtentProvider):
+    def __init__(
+        self,
+        database: ExtentProvider,
+        params: Mapping[str, Any] | None = None,
+    ):
         self.database = database
-        self._terms = TermEvaluator(database)
+        self.params = dict(params) if params else {}
+        self._terms = TermEvaluator(database, self.params)
 
     def value(self, term: Term, env: Env) -> Any:
         return self._terms.evaluate(term, env)

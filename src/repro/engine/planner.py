@@ -21,6 +21,7 @@ enables hash joins".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.algebra.operators import (
     Eval,
@@ -70,9 +71,14 @@ def plan_physical(
     plan: Operator,
     database: ExtentProvider,
     options: PlannerOptions | None = None,
+    params: Mapping[str, Any] | None = None,
 ) -> PhysicalOperator:
-    """Translate a logical plan into a physical plan bound to *database*."""
-    context = _Context(database)
+    """Translate a logical plan into a physical plan bound to *database*.
+
+    *params* supplies values for any :class:`~repro.calculus.terms.Param`
+    placeholders in the plan's expressions (prepared-statement execution).
+    """
+    context = _Context(database, params)
     options = options or PlannerOptions()
     return _build(plan, context, options)
 
@@ -81,9 +87,10 @@ def execute(
     plan: Operator,
     database: ExtentProvider,
     options: PlannerOptions | None = None,
+    params: Mapping[str, Any] | None = None,
 ):
     """Plan and run a logical plan, returning its value."""
-    physical = plan_physical(plan, database, options)
+    physical = plan_physical(plan, database, options, params)
     if not isinstance(physical, (PReduce, PEval)):
         raise TypeError("a complete plan must be rooted at Reduce or Eval")
     return physical.value()

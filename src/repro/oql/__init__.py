@@ -1,6 +1,7 @@
 """The ODMG OQL front-end: lexer, parser, AST, and calculus translation."""
 
 from repro.oql.lexer import OQLSyntaxError, Token, tokenize
+from repro.oql.params import parameterize_literals
 from repro.oql.parser import parse
 from repro.oql.pretty import unparse
 from repro.oql.translator import TranslationError, parse_and_translate, translate
@@ -9,6 +10,7 @@ __all__ = [
     "OQLSyntaxError",
     "Token",
     "TranslationError",
+    "parameterize_literals",
     "parse",
     "unparse",
     "parse_and_translate",

@@ -31,6 +31,18 @@ class Name(Node):
 
 
 @dataclass(frozen=True)
+class Parameter(Node):
+    """A prepared-statement placeholder ``:name``.
+
+    Parameters stand for constants supplied at execution time; a query
+    containing parameters compiles to one reusable plan (see
+    ``CompiledQuery.bind``).
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Path(Node):
     """Attribute navigation ``base.attr``."""
 

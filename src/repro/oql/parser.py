@@ -21,10 +21,14 @@ Grammar (keywords case-insensitive)::
     multiplicative ::= unary {(* | /) unary}
     unary        ::= '-' unary | postfix
     postfix      ::= primary {'.' ident}
-    primary      ::= literal | ident | aggregate '(' query ')'
+    primary      ::= literal | ident | ':' ident | aggregate '(' query ')'
                    | STRUCT '(' ident ':' or_expr {, ident ':' or_expr} ')'
                    | '(' query ')'
     aggregate    ::= COUNT | SUM | AVG | MAX | MIN
+
+A ``:name`` in expression position is a prepared-statement parameter.  The
+colons of ``struct(A: e)`` and ``exists v in e: p`` are consumed before an
+expression is parsed, so a colon *starting* an expression is unambiguous.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from repro.oql.ast import (
     Name,
     Node,
     OrderItem,
+    Parameter,
     Path,
     Select,
     SelectItem,
@@ -340,6 +345,8 @@ class _Parser:
             return Flatten(argument)
         if self._accept_keyword("struct"):
             return self._parse_struct()
+        if self._at_symbol(":"):
+            return self._parse_parameter()
         if token.kind == "ident":
             self._advance()
             return Name(token.value)
@@ -349,6 +356,16 @@ class _Parser:
             return node
         self._fail("expected an expression")
         raise AssertionError("unreachable")
+
+    def _parse_parameter(self) -> Parameter:
+        self._expect_symbol(":")
+        token = self._peek()
+        if token.kind == "keyword":
+            self._fail(
+                f"parameter name {token.value!r} is a reserved keyword"
+            )
+        name = self._expect_ident()
+        return Parameter(name)
 
     def _parse_struct(self) -> Struct:
         self._expect_symbol("(")

@@ -19,6 +19,7 @@ from repro.oql.ast import (
     Name,
     Node,
     OrderItem,
+    Parameter,
     Path,
     Select,
     SelectItem,
@@ -49,6 +50,8 @@ def _unparse(node: Node, parent_precedence: int) -> str:
         return _literal(node)
     if isinstance(node, Name):
         return node.name
+    if isinstance(node, Parameter):
+        return f":{node.name}"
     if isinstance(node, Path):
         return f"{_unparse(node.base, 10)}.{node.attr}"
     if isinstance(node, UnaryOp):

@@ -81,6 +81,8 @@ class _Translator:
     def translate(self, node: ast.Node, scope: frozenset[str]) -> t.Term:
         if isinstance(node, ast.Literal):
             return self._literal(node)
+        if isinstance(node, ast.Parameter):
+            return t.Param(node.name)
         if isinstance(node, ast.Name):
             return self._name(node, scope)
         if isinstance(node, ast.Path):
