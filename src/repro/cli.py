@@ -332,8 +332,81 @@ def repl(db_name: str, out=None) -> None:
             print(f"error: {exc}", file=out)
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro fuzz``."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description=(
+            "Differential fuzzing: random OQL over random schemas, every "
+            "execution path cross-checked (see repro.testing)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default: 0)"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="number of (database, query) samples to check (default: 100)",
+    )
+    parser.add_argument(
+        "--save-repros",
+        metavar="DIR",
+        default=None,
+        help="write a JSON repro artifact for every finding into DIR",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report findings unminimized (skip delta debugging)",
+    )
+    parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the structural pipeline invariant checks",
+    )
+    return parser
+
+
+def run_fuzz_command(argv: list[str], out=None) -> int:
+    """Run the ``repro fuzz`` subcommand; returns a process exit code."""
+    from repro.testing.fuzz import FuzzConfig, FuzzReport, run_fuzz
+
+    out = out if out is not None else sys.stdout
+    args = build_fuzz_parser().parse_args(argv)
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        save_repros=args.save_repros,
+        shrink=not args.no_shrink,
+        invariants=not args.no_invariants,
+    )
+    start = time.perf_counter()
+
+    def progress(iteration: int, report: FuzzReport) -> None:
+        if iteration % 100 == 0 or iteration == config.iterations:
+            elapsed = time.perf_counter() - start
+            print(
+                f"  {iteration}/{config.iterations} samples, "
+                f"{len(report.findings)} finding(s), {elapsed:.1f}s",
+                file=out,
+            )
+
+    print(
+        f"fuzzing: seed={config.seed}, {config.iterations} iterations",
+        file=out,
+    )
+    report = run_fuzz(config, progress)
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fuzz":
+        return run_fuzz_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.query is None:
         repl(args.db)

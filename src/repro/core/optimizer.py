@@ -79,6 +79,8 @@ class OptimizerOptions:
     algebraic: bool = True
     reorder_joins: bool = True
     hash_joins: bool = True
+    index_scans: bool = True
+    merge_joins: bool = False
     #: Type-check the calculus translation (Figure 3) and the final plan
     #: (Figure 6) during compilation, failing fast on ill-typed queries.
     typecheck: bool = False

@@ -61,6 +61,15 @@ __all__ = [
     "StageResult",
 ]
 
+def _planner_options(options: "OptimizerOptions") -> PlannerOptions:
+    """The physical-planning knobs carried by a set of optimizer options."""
+    return PlannerOptions(
+        hash_joins=options.hash_joins,
+        index_scans=options.index_scans,
+        merge_joins=options.merge_joins,
+    )
+
+
 #: The stage names, in pipeline order.  A given compilation records a subset:
 #: ``parse``/``translate`` only appear when compiling from OQL text,
 #: ``typecheck`` only with ``OptimizerOptions.typecheck``, the algebraic
@@ -239,7 +248,7 @@ class CompiledQuery:
         return plan_physical(
             self.optimized,
             database,
-            PlannerOptions(hash_joins=self.options.hash_joins),
+            _planner_options(self.options),
             params,
         )
 
@@ -469,7 +478,7 @@ class QueryPipeline:
                 lambda: plan_physical(
                     final,
                     self.database,
-                    PlannerOptions(hash_joins=options.hash_joins),
+                    _planner_options(options),
                 ),
                 lambda physical: physical.explain(),
             )
@@ -517,7 +526,7 @@ class QueryPipeline:
             stats = run_with_stats(
                 compiled.optimized,
                 self.database,
-                PlannerOptions(hash_joins=compiled.options.hash_joins),
+                _planner_options(compiled.options),
                 values,
             )
         if compiled.order_by:

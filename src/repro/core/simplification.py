@@ -148,12 +148,16 @@ def _try_rewrite(parent: Reduce, nest: Nest) -> Operator | None:
     if not (free_vars(new_head) <= allowed and free_vars(new_pred) <= allowed):
         return None
 
+    # Null-test the key columns: in the outer-join form a NULL grouping key
+    # matches nothing (not even its own copy — NULL = NULL is false), so its
+    # group is padded to the monoid zero.  The direct grouping must preserve
+    # that, or NULL-keyed rows would wrongly aggregate with themselves.
     grouped = Nest(
         Map(join.left, bindings),
         nest.monoid_name,
         substitute(nest.head, rename_ba),
         group_by=key_columns,
-        null_vars=(),
+        null_vars=key_columns,
         out_var=nest.out_var,
         pred=substitute(nest.pred, rename_ba),
     )

@@ -121,6 +121,11 @@ class PIndexScan(PhysicalOperator):
 
     def rows(self) -> Iterator[Env]:
         value = self._context.value(self.key, {})
+        if is_null(value):
+            # attr = NULL is NULL, which a filter treats as false — but the
+            # index stores NULL-attributed objects under the NULL key, so a
+            # raw lookup would wrongly return them.
+            return
         database = self._context.database
         for obj in database.index_lookup(self.extent, self.attr, value):
             self.rows_produced += 1
@@ -511,10 +516,18 @@ class PReduce(PhysicalOperator):
                 continue
             result = monoid.merge(result, monoid.lift(head))
             if monoid.name == "all" and result is False:
-                return False
+                return self._account(False)
             if monoid.name == "some" and result is True:
-                return True
-        return result if collection else monoid.finalize(result)
+                return self._account(True)
+        return self._account(result if collection else monoid.finalize(result))
+
+    def _account(self, result: Any) -> Any:
+        # EXPLAIN ANALYZE accounting: the root "produces" the result — one
+        # row per element of a collection result, one row for a scalar.
+        self.rows_produced = (
+            len(result) if isinstance(result, CollectionValue) else 1
+        )
+        return result
 
     def describe(self) -> str:
         return f"Reduce({self.monoid.name} / {self.head})"
@@ -541,7 +554,11 @@ class PEval(PhysicalOperator):
             raise EvaluationError(
                 f"Eval root expected exactly one row, got {len(envs)}"
             )
-        return self._context.value(self.expr, envs[0])
+        result = self._context.value(self.expr, envs[0])
+        self.rows_produced = (
+            len(result) if isinstance(result, CollectionValue) else 1
+        )
+        return result
 
     def describe(self) -> str:
         return f"Eval({self.expr})"

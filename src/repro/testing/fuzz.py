@@ -1,0 +1,157 @@
+"""The fuzzing loop behind ``repro fuzz``.
+
+Each iteration derives its own RNG from the master seed, generates a fresh
+random database and one random query over it, runs the differential oracle
+(every execution path) and the pipeline invariant checkers, and — when
+something disagrees — shrinks the sample with delta debugging and optionally
+saves a JSON repro artifact.
+
+The loop is fully deterministic: ``run_fuzz(FuzzConfig(seed=2,
+iterations=500))`` finds exactly the same samples on every machine, which is
+what lets CI run a fixed-seed smoke job and lets a developer replay a
+finding from nothing but ``(seed, iteration)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.testing.invariants import check_invariants
+from repro.testing.oracle import check_sample
+from repro.testing.qgen import QueryGenConfig, QueryGenerator
+from repro.testing.repro_io import save_repro
+from repro.testing.schemagen import SchemaGenConfig, random_database
+from repro.testing.shrink import default_interesting, shrink
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzzing run."""
+
+    seed: int = 0
+    iterations: int = 100
+    #: Directory to write JSON repro artifacts into (None: don't save).
+    save_repros: str | None = None
+    #: Minimize disagreements before reporting/saving them.
+    shrink: bool = True
+    #: Also run the structural pipeline invariants on every sample.
+    invariants: bool = True
+    schema_config: SchemaGenConfig = field(default_factory=SchemaGenConfig)
+    query_config: QueryGenConfig = field(default_factory=QueryGenConfig)
+
+
+@dataclass
+class Finding:
+    """One fuzzer-found problem, already shrunk."""
+
+    kind: str  # "disagreement" | "invariant"
+    iteration: int
+    source: str
+    params: dict[str, Any]
+    detail: str
+    repro_path: str | None = None
+
+    def describe(self) -> str:
+        header = f"[{self.kind}] iteration {self.iteration}: {self.source}"
+        if self.params:
+            header += f"  params={self.params}"
+        if self.repro_path:
+            header += f"  (saved: {self.repro_path})"
+        return header + "\n" + self.detail
+
+
+@dataclass
+class FuzzReport:
+    """What a fuzzing run observed."""
+
+    config: FuzzConfig
+    iterations: int = 0
+    #: Samples where every path succeeded with equal results.
+    agreed_ok: int = 0
+    #: Samples where every path failed (also agreement — e.g. type errors).
+    agreed_error: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.iterations} iterations: "
+            f"{self.agreed_ok} agreed, "
+            f"{self.agreed_error} agreed-on-error, "
+            f"{len(self.findings)} finding(s)"
+        ]
+        lines.extend(finding.describe() for finding in self.findings)
+        return "\n".join(lines)
+
+
+Progress = Callable[[int, "FuzzReport"], None]
+
+
+def _iteration_rng(seed: int, iteration: int) -> random.Random:
+    return random.Random(f"{seed}:{iteration}")
+
+
+def generate_sample(config: FuzzConfig, iteration: int):
+    """The (source, params, database) triple for one iteration."""
+    rng = _iteration_rng(config.seed, iteration)
+    db, generated = random_database(rng, config.schema_config)
+    generator = QueryGenerator(generated, rng, config.query_config)
+    query = generator.query()
+    return query.source, query.params, db
+
+
+def run_fuzz(config: FuzzConfig, progress: Progress | None = None) -> FuzzReport:
+    """Run the full fuzzing loop and return the report."""
+    report = FuzzReport(config)
+    save_dir = Path(config.save_repros) if config.save_repros else None
+    for iteration in range(config.iterations):
+        source, params, db = generate_sample(config, iteration)
+        verdict = check_sample(source, params, db)
+        if verdict.agreed:
+            if verdict.reference.ok:
+                report.agreed_ok += 1
+            else:
+                report.agreed_error += 1
+        else:
+            source_, params_, db_ = source, dict(params), db
+            if config.shrink:
+                source_, params_, db_ = shrink(
+                    source_, params_, db_, default_interesting
+                )
+                verdict = check_sample(source_, params_, db_)
+            finding = Finding(
+                "disagreement", iteration, source_, params_, verdict.describe()
+            )
+            if save_dir is not None:
+                path = save_repro(
+                    save_dir / f"disagreement_s{config.seed}_i{iteration}.json",
+                    source_,
+                    params_,
+                    db_,
+                    description=(
+                        f"fuzzer disagreement (seed={config.seed}, "
+                        f"iteration={iteration})"
+                    ),
+                    seed=config.seed,
+                )
+                finding.repro_path = str(path)
+            report.findings.append(finding)
+        if config.invariants:
+            violations = check_invariants(source, params, db)
+            if violations:
+                report.findings.append(
+                    Finding(
+                        "invariant", iteration, source, dict(params),
+                        "\n".join(violations),
+                    )
+                )
+        report.iterations += 1
+        if progress is not None:
+            progress(iteration + 1, report)
+    return report

@@ -1,0 +1,528 @@
+"""Grammar-driven random OQL query generation.
+
+Given a schema (typically one from :mod:`repro.testing.schemagen`, but any
+:class:`~repro.data.schema.Schema` works), :class:`QueryGenerator` emits
+random-but-well-typed OQL source strings covering every nesting class the
+paper discusses: flat selects and joins, type-N/J nesting (subqueries as
+generator domains, membership predicates), type-A/JA nesting (correlated
+aggregates, nested selects in the head), universal/existential quantifiers,
+group-by with having, set operations, and ``flatten`` — plus prepared-
+statement ``:name`` placeholders whose values are returned alongside the
+source.
+
+Deliberate restrictions, so that every execution path stays comparable:
+
+* no ORDER BY (list results would make cross-path comparison order-
+  sensitive; ordering is covered by the hand-written tests);
+* no division except by powers of two, and float literals are multiples of
+  0.25 — keeps float arithmetic exact, so bit-identical across paths;
+* comparisons only between scalars of the same kind (never whole records),
+  so merge-join keys are always totally ordered.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.schema import (
+    CollectionType,
+    FloatType,
+    IntType,
+    RecordType,
+    Schema,
+    StringType,
+    Type,
+)
+from repro.data.values import NULL
+from repro.testing.schemagen import INT_RANGE, STRING_POOL, GeneratedSchema
+
+
+@dataclass
+class GeneratedQuery:
+    """One fuzz sample: OQL source plus its ``:name`` parameter values."""
+
+    source: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.source
+
+
+@dataclass
+class QueryGenConfig:
+    """Shape/probability knobs for random queries."""
+
+    max_depth: int = 3
+    where_probability: float = 0.85
+    param_probability: float = 0.2
+    null_literal_probability: float = 0.06
+    group_by_probability: float = 0.12
+    second_generator_probability: float = 0.45
+    distinct_probability: float = 0.65
+
+
+_NUMERIC = ("int", "float")
+
+
+def _kind_of(attr_type: Type) -> str | None:
+    if isinstance(attr_type, IntType):
+        return "int"
+    if isinstance(attr_type, FloatType):
+        return "float"
+    if isinstance(attr_type, StringType):
+        return "string"
+    return None
+
+
+class QueryGenerator:
+    """Seeded random OQL generator over a fixed schema.
+
+    >>> import random
+    >>> from repro.testing.schemagen import random_database
+    >>> db, generated = random_database(3)
+    >>> gen = QueryGenerator(generated, random.Random(3))
+    >>> query = gen.query()
+    >>> isinstance(query.source, str) and len(query.source) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        schema: GeneratedSchema | Schema,
+        rng: random.Random,
+        config: QueryGenConfig | None = None,
+    ):
+        if isinstance(schema, GeneratedSchema):
+            self.schema = schema.schema
+        else:
+            self.schema = schema
+        self.rng = rng
+        self.config = config or QueryGenConfig()
+        self._var_counter = 0
+        self._params: dict[str, Any] = {}
+
+    # -- public entry point -------------------------------------------------
+
+    def query(self) -> GeneratedQuery:
+        """Generate one top-level query (fresh variable/parameter names)."""
+        self._var_counter = 0
+        self._params = {}
+        roll = self.rng.random()
+        depth = self.config.max_depth
+        if roll < 0.60:
+            source = self._select_query([], depth)
+        elif roll < 0.75:
+            source = self._top_aggregate(depth)
+        elif roll < 0.90:
+            source = self._top_boolean(depth)
+        else:
+            source = self._set_operation(depth)
+        # Generation backtracks (e.g. a drafted domain that a group-by shape
+        # replaces), so only keep parameters the final text references.
+        used = set(re.findall(r":(q\d+)", source))
+        return GeneratedQuery(
+            source, {k: v for k, v in self._params.items() if k in used}
+        )
+
+    # -- schema helpers -----------------------------------------------------
+
+    def _extents(self) -> list[tuple[str, RecordType]]:
+        return [
+            (name, self.schema.class_type(self.schema.extents[name]))
+            for name in self.schema.extent_names()
+        ]
+
+    def _fresh_var(self) -> str:
+        name = f"v{self._var_counter}"
+        self._var_counter += 1
+        return name
+
+    def _scalar_attrs(
+        self, record_type: RecordType, kinds: tuple[str, ...] | None = None
+    ) -> list[tuple[str, str]]:
+        """(attr, kind) pairs for the record's scalar attributes."""
+        out = []
+        for attr, attr_type in record_type.fields:
+            kind = _kind_of(attr_type)
+            if kind is not None and (kinds is None or kind in kinds):
+                out.append((attr, kind))
+        return out
+
+    def _collection_attrs(
+        self, record_type: RecordType
+    ) -> list[tuple[str, CollectionType]]:
+        return [
+            (attr, attr_type)
+            for attr, attr_type in record_type.fields
+            if isinstance(attr_type, CollectionType)
+        ]
+
+    # -- literals and parameters --------------------------------------------
+
+    def _literal_value(self, kind: str) -> Any:
+        if kind == "int":
+            return self.rng.randint(0, INT_RANGE)
+        if kind == "float":
+            return self.rng.randint(0, 4 * INT_RANGE) * 0.25
+        return self.rng.choice(STRING_POOL)
+
+    def _literal(self, kind: str, allow_null: bool = True) -> str:
+        """Render a literal of *kind*; sometimes as a ``:qN`` parameter,
+        occasionally as ``nil`` or a NULL-valued parameter."""
+        rng = self.rng
+        if allow_null and rng.random() < self.config.null_literal_probability:
+            if rng.random() < 0.5:
+                return "nil"
+            name = f"q{len(self._params)}"
+            self._params[name] = NULL
+            return f":{name}"
+        value = self._literal_value(kind)
+        if rng.random() < self.config.param_probability:
+            name = f"q{len(self._params)}"
+            self._params[name] = value
+            return f":{name}"
+        if kind == "string":
+            return f'"{value}"'
+        return repr(value)
+
+    # -- scalar expressions -------------------------------------------------
+
+    def _paths_of_kind(
+        self, env: list[tuple[str, RecordType]], kinds: tuple[str, ...]
+    ) -> list[tuple[str, str]]:
+        """All in-scope ``var.attr`` paths whose attribute kind is in *kinds*."""
+        paths = []
+        for var, record_type in env:
+            for attr, kind in self._scalar_attrs(record_type, kinds):
+                paths.append((f"{var}.{attr}", kind))
+        return paths
+
+    def _scalar_expr(
+        self, env: list[tuple[str, RecordType]], kind: str, depth: int
+    ) -> str:
+        """A scalar expression of *kind* over the in-scope variables."""
+        rng = self.rng
+        paths = self._paths_of_kind(env, (kind,))
+        if kind in _NUMERIC and paths and rng.random() < 0.25:
+            base, _ = rng.choice(paths)
+            op = rng.choice(("+", "-", "*", "/"))
+            if op == "/":
+                return f"{base} / {rng.choice((2, 4))}"
+            if op == "*":
+                return f"{base} * {rng.choice((2, 3))}"
+            return f"{base} {op} {self.rng.randint(0, INT_RANGE)}"
+        if kind in _NUMERIC and depth > 0 and rng.random() < 0.15:
+            aggregate = self._aggregate_subquery(env, kind, depth - 1)
+            if aggregate is not None:
+                return aggregate
+        if paths and rng.random() < 0.8:
+            return rng.choice(paths)[0]
+        return self._literal(kind, allow_null=False)
+
+    def _aggregate_subquery(
+        self, env: list[tuple[str, RecordType]], kind: str, depth: int
+    ) -> str | None:
+        """``sum/avg/max/min/count( select ... )`` yielding a numeric."""
+        rng = self.rng
+        if rng.random() < 0.4:
+            subquery = self._select_query(env, min(depth, 1), force_plain=True)
+            return f"count( {subquery} )"
+        function = rng.choice(("sum", "max", "min", "avg"))
+        subquery = self._scalar_subquery(env, ("int", "float"), depth)
+        if subquery is None:
+            return None
+        return f"{function}( {subquery} )"
+
+    # -- collections usable as generator domains ----------------------------
+
+    def _domains(
+        self, env: list[tuple[str, RecordType]], depth: int
+    ) -> list[tuple[str, RecordType]]:
+        """(domain text, element record type) candidates for a generator."""
+        choices: list[tuple[str, RecordType]] = list(self._extents())
+        for var, record_type in env:
+            for attr, coll_type in self._collection_attrs(record_type):
+                if isinstance(coll_type.element, RecordType):
+                    choices.append((f"{var}.{attr}", coll_type.element))
+        return choices
+
+    def _pick_domain(
+        self, env: list[tuple[str, RecordType]], depth: int
+    ) -> tuple[str, RecordType]:
+        rng = self.rng
+        choices = self._domains(env, depth)
+        domain, element = rng.choice(choices)
+        # Occasionally wrap an extent in a subquery (type-N nesting) or a
+        # flatten of a nested collection.
+        if depth > 0 and rng.random() < 0.2:
+            var = self._fresh_var()
+            inner_env = env + [(var, element)]
+            where = ""
+            if rng.random() < 0.7:
+                where = f" where {self._predicate(inner_env, depth - 1)}"
+            return (f"( select {var} from {var} in {domain}{where} )", element)
+        if depth > 0 and rng.random() < 0.1:
+            # flatten( select v.kids from v in X )
+            extents = list(self._extents())
+            rng.shuffle(extents)
+            for extent, record_type in extents:
+                nested = self._collection_attrs(record_type)
+                nested = [
+                    (attr, coll)
+                    for attr, coll in nested
+                    if isinstance(coll.element, RecordType)
+                ]
+                if nested:
+                    attr, coll = rng.choice(nested)
+                    var = self._fresh_var()
+                    return (
+                        f"flatten( select {var}.{attr} from {var} in {extent} )",
+                        coll.element,
+                    )
+        return domain, element
+
+    # -- predicates ---------------------------------------------------------
+
+    def _predicate(self, env: list[tuple[str, RecordType]], depth: int) -> str:
+        rng = self.rng
+        atoms = [self._atom(env, depth)]
+        while len(atoms) < 3 and rng.random() < 0.3:
+            atoms.append(self._atom(env, depth))
+        text = atoms[0]
+        for atom in atoms[1:]:
+            text = f"({text} {rng.choice(('and', 'or'))} {atom})"
+        if rng.random() < 0.12:
+            text = f"not ({text})"
+        return text
+
+    def _atom(self, env: list[tuple[str, RecordType]], depth: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth <= 0 or roll < 0.45:
+            return self._comparison(env)
+        if roll < 0.60:
+            return self._membership(env, depth - 1)
+        if roll < 0.80:
+            return self._quantifier(env, depth - 1)
+        if roll < 0.90:
+            return self._count_comparison(env, depth - 1)
+        subquery = self._select_query(env, min(depth - 1, 1), force_plain=True)
+        return f"exists( {subquery} )"
+
+    def _comparison(self, env: list[tuple[str, RecordType]]) -> str:
+        rng = self.rng
+        kind = rng.choice(("int", "int", "float", "string"))
+        paths = self._paths_of_kind(env, (kind,))
+        if not paths:
+            kind = "int"
+            paths = self._paths_of_kind(env, (kind,))
+        if not paths:
+            return "true"
+        left, _ = rng.choice(paths)
+        if kind == "string":
+            op = rng.choice(("=", "!=", "=", "<"))
+        else:
+            op = rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        # Compare against another path (a join-key shape) or a literal.
+        if len(paths) > 1 and rng.random() < 0.45:
+            right = rng.choice([p for p, _ in paths if p != left] or [left])
+            return f"{left} {op} {right}"
+        return f"{left} {op} {self._literal(kind)}"
+
+    def _membership(self, env: list[tuple[str, RecordType]], depth: int) -> str:
+        rng = self.rng
+        paths = self._paths_of_kind(env, ("int", "string"))
+        if not paths:
+            return self._comparison(env)
+        path, kind = rng.choice(paths)
+        subquery = self._scalar_subquery(env, (kind,), depth)
+        if subquery is None:
+            return self._comparison(env)
+        return f"{path} in ( {subquery} )"
+
+    def _quantifier(self, env: list[tuple[str, RecordType]], depth: int) -> str:
+        rng = self.rng
+        domain, element = self._pick_domain(env, depth)
+        var = self._fresh_var()
+        inner_env = env + [(var, element)]
+        body = (
+            self._comparison(inner_env)
+            if depth <= 0 or rng.random() < 0.7
+            else self._predicate(inner_env, depth - 1)
+        )
+        keyword = rng.choice(("exists", "for all"))
+        return f"{keyword} {var} in {domain}: {body}"
+
+    def _count_comparison(
+        self, env: list[tuple[str, RecordType]], depth: int
+    ) -> str:
+        subquery = self._select_query(env, min(depth, 1), force_plain=True)
+        op = self.rng.choice(("=", ">=", "<=", ">", "<"))
+        return f"count( {subquery} ) {op} {self.rng.randint(0, 3)}"
+
+    # -- subqueries ---------------------------------------------------------
+
+    def _scalar_subquery(
+        self,
+        env: list[tuple[str, RecordType]],
+        kinds: tuple[str, ...],
+        depth: int,
+    ) -> str | None:
+        """``select [distinct] w.attr from w in DOM [where ...]`` over a
+        scalar attribute of one of the given kinds; None when no domain has
+        such an attribute."""
+        rng = self.rng
+        candidates = []
+        for domain, element in self._domains(env, depth):
+            for attr, kind in self._scalar_attrs(element, kinds):
+                candidates.append((domain, element, attr))
+        if not candidates:
+            return None
+        domain, element, attr = rng.choice(candidates)
+        var = self._fresh_var()
+        inner_env = env + [(var, element)]
+        distinct = "distinct " if rng.random() < 0.4 else ""
+        where = ""
+        if rng.random() < 0.75:
+            where = f" where {self._predicate(inner_env, max(depth - 1, 0))}"
+        return f"select {distinct}{var}.{attr} from {var} in {domain}{where}"
+
+    # -- select queries -----------------------------------------------------
+
+    def _select_query(
+        self,
+        env: list[tuple[str, RecordType]],
+        depth: int,
+        force_plain: bool = False,
+    ) -> str:
+        """A select-from-where query over (and possibly correlated with)
+        the in-scope environment.  With *force_plain* the head is the first
+        range variable itself (the shape ``count(...)`` and ``exists(...)``
+        consume)."""
+        rng = self.rng
+        config = self.config
+
+        domain, element = self._pick_domain(env, depth - 1)
+        var = self._fresh_var()
+        inner_env = env + [(var, element)]
+        # "v in X" and "X [as] v" are both legal OQL; cover each.
+        if rng.random() < 0.8 or domain[0] == "(":
+            froms = [f"{var} in {domain}"]
+        else:
+            froms = [f"{domain} as {var}"]
+
+        if not force_plain and rng.random() < config.group_by_probability:
+            grouped = self._group_by_select(var, element, inner_env, depth)
+            if grouped is not None:
+                return grouped
+
+        if rng.random() < config.second_generator_probability:
+            domain2, element2 = self._pick_domain(inner_env, 0)
+            var2 = self._fresh_var()
+            froms.append(f"{var2} in {domain2}")
+            inner_env = inner_env + [(var2, element2)]
+
+        where = ""
+        if rng.random() < config.where_probability:
+            where = f" where {self._predicate(inner_env, depth - 1)}"
+
+        distinct = "distinct " if rng.random() < config.distinct_probability else ""
+        if force_plain:
+            return f"select {distinct}{var} from {', '.join(froms)}{where}"
+
+        head = self._head(inner_env, depth - 1)
+        return f"select {distinct}{head} from {', '.join(froms)}{where}"
+
+    def _head(self, env: list[tuple[str, RecordType]], depth: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.30:
+            kind = rng.choice(("int", "float", "string"))
+            return self._scalar_expr(env, kind, depth)
+        if roll < 0.45:
+            var, _ = rng.choice(env)
+            return var
+        # A struct head; fields may hold scalars, nested selects (type-JA
+        # nesting in the head — QUERY B's shape), or correlated aggregates
+        # (QUERY D's shape).
+        fields = []
+        for index in range(rng.randint(2, 3)):
+            label = f"A{index}"
+            sub_roll = rng.random()
+            if depth > 0 and sub_roll < 0.25:
+                fields.append(
+                    f"{label}: ( {self._select_query(env, min(depth, 1), force_plain=True)} )"
+                )
+            elif depth > 0 and sub_roll < 0.45:
+                aggregate = self._aggregate_subquery(env, "float", depth)
+                fields.append(f"{label}: {aggregate or self._scalar_expr(env, 'int', 0)}")
+            else:
+                kind = rng.choice(("int", "float", "string"))
+                fields.append(f"{label}: {self._scalar_expr(env, kind, 0)}")
+        return f"struct( {', '.join(fields)} )"
+
+    def _group_by_select(
+        self,
+        var: str,
+        element: RecordType,
+        env: list[tuple[str, RecordType]],
+        depth: int,
+    ) -> str | None:
+        """``select v.g, agg(v.n) as a0 from X v group by v.g [having ...]``."""
+        rng = self.rng
+        extent, element = rng.choice(self._extents())
+        group_attrs = self._scalar_attrs(element, ("int", "string"))
+        numeric_attrs = self._scalar_attrs(element, ("int", "float"))
+        if not group_attrs or not numeric_attrs:
+            return None
+        group_attr, _ = rng.choice(group_attrs)
+        num_attr, _ = rng.choice(numeric_attrs)
+        function = rng.choice(("sum", "max", "min", "avg", "count"))
+        head_agg = (
+            f"count({var})" if function == "count" else f"{function}({var}.{num_attr})"
+        )
+        where = ""
+        if rng.random() < 0.5:
+            where = f" where {self._comparison([(var, element)])}"
+        having = ""
+        if rng.random() < 0.4:
+            having = f" having count({var}) {rng.choice(('>', '>='))} {rng.randint(1, 2)}"
+        return (
+            f"select {var}.{group_attr}, {head_agg} as a0 "
+            f"from {extent} {var}{where} group by {var}.{group_attr}{having}"
+        )
+
+    # -- other top-level forms ----------------------------------------------
+
+    def _top_aggregate(self, depth: int) -> str:
+        aggregate = self._aggregate_subquery([], "float", depth)
+        if aggregate is None:
+            return self._select_query([], depth)
+        return aggregate
+
+    def _top_boolean(self, depth: int) -> str:
+        return self._quantifier([], depth)
+
+    def _set_operation(self, depth: int) -> str:
+        rng = self.rng
+        candidates = []
+        for extent, element in self._extents():
+            for attr, kind in self._scalar_attrs(element):
+                candidates.append((extent, element, attr))
+        if not candidates:
+            return self._select_query([], depth)
+        extent, element, attr = rng.choice(candidates)
+        op = rng.choice(("union", "except", "intersect"))
+        sides = []
+        for _ in range(2):
+            var = self._fresh_var()
+            where = ""
+            if rng.random() < 0.8:
+                where = f" where {self._predicate([(var, element)], depth - 1)}"
+            sides.append(
+                f"( select distinct {var}.{attr} from {var} in {extent}{where} )"
+            )
+        return f"{sides[0]} {op} {sides[1]}"

@@ -1,0 +1,209 @@
+"""Seeded random schema and instance generation for the fuzzer.
+
+Follows the :mod:`repro.data.datagen` conventions — every generator takes a
+seed (or an ``random.Random``) and is fully deterministic — but instead of
+the paper's fixed example schemas it invents a fresh one each time: a few
+record classes with scalar attributes, nested collection attributes (sets or
+bags of inner records), class extents, NULLs sprinkled into nullable
+attributes, intentionally empty collections, and hash indexes on a few
+scalar attributes.
+
+Numeric design notes (they matter for the differential oracle):
+
+* integer attributes draw from a *small* range so equality predicates and
+  joins actually match;
+* float attributes are multiples of 0.25 — dyadic rationals whose sums are
+  exact in binary floating point, so aggregate results are identical no
+  matter which order an execution path adds them in;
+* all numbers are non-negative, matching the paper's (max, 0) monoid.
+
+Every generated object — top-level extent members and nested collection
+elements alike — carries a database-unique ``oid`` attribute.  The paper's
+data model is object-oriented: two objects with identical state are still
+*distinct*, and the unnesting translation leans on that (its Γ operator
+groups by the outer range variables, which conflates value-equal duplicates
+in a bag).  Value-based records can only honour the OO semantics if no two
+objects are value-equal, and the ``oid`` guarantees exactly that.  The
+divergence that appears without it is pinned as a known-divergence repro in
+``tests/fuzz_repros/``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.data.database import Database
+from repro.data.schema import (
+    FLOAT,
+    INT,
+    STRING,
+    CollectionType,
+    FloatType,
+    IntType,
+    RecordType,
+    Schema,
+)
+from repro.data.values import NULL, BagValue, Record, SetValue
+
+#: The string pool shared with the query generator, so string equality
+#: predicates have a real chance of matching data.
+STRING_POOL = (
+    "red", "green", "blue", "amber", "teal", "coral", "ivory", "slate",
+)
+
+#: Inclusive upper bound for generated integer attribute values (and the
+#: literal pool the query generator draws from).
+INT_RANGE = 8
+
+
+@dataclass
+class SchemaGenConfig:
+    """Size knobs for random schemas/instances (defaults keep the naive
+    nested-loop oracle path fast: extents stay small)."""
+
+    min_classes: int = 2
+    max_classes: int = 3
+    min_scalar_attrs: int = 2
+    max_scalar_attrs: int = 4
+    max_nested_attrs: int = 1
+    min_extent_size: int = 0  # empty extents are a feature, not a bug
+    max_extent_size: int = 9
+    max_nested_size: int = 3
+    null_probability: float = 0.15
+    nullable_probability: float = 0.4
+    bag_extent_probability: float = 0.2
+    index_probability: float = 0.6
+
+
+@dataclass
+class GeneratedSchema:
+    """A random schema plus the bookkeeping the query generator needs."""
+
+    schema: Schema
+    #: extent name -> class name (insertion order = generation order).
+    extents: dict[str, str] = field(default_factory=dict)
+    #: (class name, attr name) pairs that may hold NULL.
+    nullable: set[tuple[str, str]] = field(default_factory=set)
+    #: extent name -> collection kind ("set" | "bag").
+    extent_kinds: dict[str, str] = field(default_factory=dict)
+
+
+def random_schema(
+    rng: random.Random, config: SchemaGenConfig | None = None
+) -> GeneratedSchema:
+    """Generate a random schema: classes, nested attributes, extents."""
+    config = config or SchemaGenConfig()
+    generated = GeneratedSchema(Schema())
+    num_classes = rng.randint(config.min_classes, config.max_classes)
+    for index in range(num_classes):
+        class_name = f"C{index}"
+        attrs: dict[str, object] = {"oid": INT}
+        num_scalars = rng.randint(config.min_scalar_attrs, config.max_scalar_attrs)
+        for a in range(num_scalars):
+            kind = rng.choice(("int", "int", "float", "string"))
+            if kind == "int":
+                attrs[f"k{a}"] = INT
+            elif kind == "float":
+                attrs[f"f{a}"] = FLOAT
+            else:
+                attrs[f"s{a}"] = STRING
+        for n in range(rng.randint(0, config.max_nested_attrs)):
+            inner = RecordType((("oid", INT), ("m0", INT), ("m1", STRING)))
+            monoid = "bag" if rng.random() < config.bag_extent_probability else "set"
+            attrs[f"kids{n}"] = CollectionType(monoid, inner)
+        generated.schema.define_class(class_name, **attrs)  # type: ignore[arg-type]
+        for attr, attr_type in attrs.items():
+            if attr != "oid" and not isinstance(attr_type, CollectionType):
+                if rng.random() < config.nullable_probability:
+                    generated.nullable.add((class_name, attr))
+        extent_name = f"X{index}"
+        generated.schema.define_extent(extent_name, class_name)
+        generated.extents[extent_name] = class_name
+        generated.extent_kinds[extent_name] = (
+            "bag" if rng.random() < config.bag_extent_probability else "set"
+        )
+    return generated
+
+
+def random_value(rng: random.Random, attr_type: object) -> object:
+    """A random value of a scalar type (never NULL)."""
+    if isinstance(attr_type, IntType):
+        return rng.randint(0, INT_RANGE)
+    if isinstance(attr_type, FloatType):
+        return rng.randint(0, 4 * INT_RANGE) * 0.25
+    return rng.choice(STRING_POOL)
+
+
+def _random_record(
+    rng: random.Random,
+    generated: GeneratedSchema,
+    class_name: str,
+    config: SchemaGenConfig,
+    oids: Iterator[int],
+) -> Record:
+    record_type = generated.schema.class_type(class_name)
+    fields: dict[str, object] = {}
+    for attr, attr_type in record_type.fields:
+        if attr == "oid":
+            fields[attr] = next(oids)
+        elif isinstance(attr_type, CollectionType):
+            size = rng.randint(0, config.max_nested_size)
+            inner = [
+                Record(
+                    oid=next(oids),
+                    m0=rng.randint(0, INT_RANGE),
+                    m1=rng.choice(STRING_POOL),
+                )
+                for _ in range(size)
+            ]
+            if attr_type.monoid_name == "bag":
+                fields[attr] = BagValue(inner)
+            else:
+                fields[attr] = SetValue(inner)
+        elif (
+            (class_name, attr) in generated.nullable
+            and rng.random() < config.null_probability
+        ):
+            fields[attr] = NULL
+        else:
+            fields[attr] = random_value(rng, attr_type)
+    return Record(fields)
+
+
+def random_database(
+    seed: int | random.Random,
+    config: SchemaGenConfig | None = None,
+) -> tuple[Database, GeneratedSchema]:
+    """A random schema *and* a populated instance with indexes.
+
+    >>> db, generated = random_database(7)
+    >>> db.extent_names() == tuple(sorted(generated.extents))
+    True
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    config = config or SchemaGenConfig()
+    generated = random_schema(rng, config)
+    db = Database(generated.schema)
+    oids = itertools.count()
+    for extent_name, class_name in generated.extents.items():
+        size = rng.randint(config.min_extent_size, config.max_extent_size)
+        objects = [
+            _random_record(rng, generated, class_name, config, oids)
+            for _ in range(size)
+        ]
+        db.add_extent(extent_name, objects, kind=generated.extent_kinds[extent_name])
+    # Hash indexes on a few scalar attributes, so the index-scan path of the
+    # planner participates in the differential comparison.
+    for extent_name, class_name in generated.extents.items():
+        if len(db.extent(extent_name)) == 0:
+            continue
+        record_type = generated.schema.class_type(class_name)
+        for attr, attr_type in record_type.fields:
+            if isinstance(attr_type, CollectionType):
+                continue
+            if rng.random() < config.index_probability:
+                db.create_index(extent_name, attr)
+    return db, generated

@@ -1,0 +1,244 @@
+"""Delta-debugging minimization of fuzzer-found disagreements.
+
+A raw fuzz failure is usually a page-long query over nine-object extents;
+the interesting part is almost always three tokens and two objects.  The
+shrinker takes *any* interestingness predicate (by default: "the
+differential oracle still disagrees") and greedily minimizes
+
+* the **query** — by structural reductions on the OQL parse tree: dropping
+  WHERE/HAVING/DISTINCT, dropping surplus generators, replacing a
+  conjunction by either conjunct, promoting any subquery to the top level,
+  and replacing parameters with their bound literals;
+* the **parameters** — unreferenced bindings are discarded;
+* the **database** — classic ddmin over every extent's object list,
+  preserving the extent's collection kind and its indexes.
+
+Candidates that fail to parse, translate, or stay interesting are simply
+rejected, so the reductions do not need to be semantics-preserving — only
+*plausible*.  The loop repeats until no candidate makes progress, which
+gives a 1-minimal result in the ddmin sense.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.data.database import Database
+from repro.data.values import BagValue, ListValue, is_null
+from repro.oql import ast
+from repro.oql.parser import parse
+from repro.oql.pretty import unparse
+from repro.testing.oracle import check_sample
+
+Interesting = Callable[[str, dict[str, Any], Database], bool]
+
+
+def default_interesting(source: str, params: dict[str, Any], db: Database) -> bool:
+    """The standard predicate: the oracle still finds a disagreement."""
+    try:
+        return not check_sample(source, params, db).agreed
+    except Exception:  # pragma: no cover - oracle itself must not raise
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Query reductions
+# ---------------------------------------------------------------------------
+
+
+def _node_reductions(node: ast.Node) -> Iterator[ast.Node]:
+    """Smaller candidate replacements for a single AST node."""
+    if isinstance(node, ast.Select):
+        if node.where is not None:
+            yield dataclasses.replace(node, where=None)
+        if node.having is not None:
+            yield dataclasses.replace(node, having=None)
+        if node.distinct:
+            yield dataclasses.replace(node, distinct=False)
+        if node.group_by:
+            yield dataclasses.replace(node, group_by=(), having=None)
+        if len(node.from_clauses) > 1:
+            for index in range(len(node.from_clauses)):
+                kept = tuple(
+                    clause
+                    for position, clause in enumerate(node.from_clauses)
+                    if position != index
+                )
+                yield dataclasses.replace(node, from_clauses=kept)
+        if len(node.items) > 1:
+            for index in range(len(node.items)):
+                kept = tuple(
+                    item
+                    for position, item in enumerate(node.items)
+                    if position != index
+                )
+                yield dataclasses.replace(node, items=kept)
+    elif isinstance(node, ast.BinaryOp) and node.op in ("and", "or"):
+        yield node.left
+        yield node.right
+    elif isinstance(node, ast.UnaryOp) and node.op == "not":
+        yield node.operand
+    elif isinstance(node, ast.SetOp):
+        yield node.left
+        yield node.right
+
+
+def _children(node: ast.Node) -> Iterator[tuple[str, Any]]:
+    for field in dataclasses.fields(node):
+        yield field.name, getattr(node, field.name)
+
+
+def _replacements(node: ast.Node) -> Iterator[ast.Node]:
+    """All single-step reductions of *node*, anywhere in its tree."""
+    yield from _node_reductions(node)
+    for name, value in _children(node):
+        if isinstance(value, ast.Node):
+            for reduced in _replacements(value):
+                yield dataclasses.replace(node, **{name: reduced})
+        elif isinstance(value, tuple):
+            for index, item in enumerate(value):
+                if not isinstance(item, ast.Node):
+                    continue
+                for reduced in _replacements(item):
+                    rebuilt = value[:index] + (reduced,) + value[index + 1 :]
+                    yield dataclasses.replace(node, **{name: rebuilt})
+
+
+def _subselects(node: ast.Node) -> Iterator[ast.Select]:
+    """Every Select node anywhere inside *node* (excluding the root)."""
+    for _, value in _children(node):
+        items = value if isinstance(value, tuple) else (value,)
+        for item in items:
+            if isinstance(item, ast.Node):
+                if isinstance(item, ast.Select):
+                    yield item
+                yield from _subselects(item)
+
+
+def _inline_params(source: str, params: Mapping[str, Any]) -> str | None:
+    """Replace every ``:name`` with its literal; None for NULL bindings
+    (``nil`` would be a different query shape, let the oracle keep those)."""
+    if not params:
+        return None
+
+    def render(match: re.Match[str]) -> str:
+        value = params[match.group(1)]
+        if isinstance(value, str):
+            return f'"{value}"'
+        return repr(value)
+
+    if any(is_null(value) for value in params.values()):
+        return None
+    if any(isinstance(value, (list, tuple, set)) for value in params.values()):
+        return None
+    try:
+        return re.sub(r":(\w+)", render, source)
+    except KeyError:
+        return None
+
+
+def _query_candidates(source: str, params: dict[str, Any]) -> Iterator[str]:
+    try:
+        tree = parse(source)
+    except Exception:
+        return
+    inlined = _inline_params(source, params)
+    if inlined is not None:
+        yield inlined
+    for subselect in _subselects(tree):
+        yield unparse(subselect)
+    for reduced in _replacements(tree):
+        yield unparse(reduced)
+
+
+def _prune_params(source: str, params: dict[str, Any]) -> dict[str, Any]:
+    used = set(re.findall(r":(\w+)", source))
+    return {name: value for name, value in params.items() if name in used}
+
+
+# ---------------------------------------------------------------------------
+# Database reductions (ddmin over each extent)
+# ---------------------------------------------------------------------------
+
+
+def _extent_kind(db: Database, name: str) -> str:
+    value = db.extent(name)
+    if isinstance(value, BagValue):
+        return "bag"
+    if isinstance(value, ListValue):
+        return "list"
+    return "set"
+
+
+def rebuild_database(db: Database, contents: Mapping[str, list[Any]]) -> Database:
+    """A copy of *db* with each extent replaced by the given objects
+    (collection kinds and indexes preserved)."""
+    smaller = Database(db.schema)
+    for name in db.extent_names():
+        smaller.add_extent(name, list(contents[name]), kind=_extent_kind(db, name))
+    for name in db.extent_names():
+        for attr in db.indexed_attributes(name):
+            smaller.create_index(name, attr)
+    return smaller
+
+
+def _shrink_extents(
+    source: str, params: dict[str, Any], db: Database, interesting: Interesting
+) -> Database:
+    contents = {name: list(db.extent(name).elements()) for name in db.extent_names()}
+
+    def still_interesting(candidate: Mapping[str, list[Any]]) -> bool:
+        return interesting(source, params, rebuild_database(db, candidate))
+
+    for name in db.extent_names():
+        objects = contents[name]
+        chunk = max(len(objects) // 2, 1)
+        while len(objects) > 0:
+            shrunk = False
+            for start in range(0, len(objects), chunk):
+                candidate = objects[:start] + objects[start + chunk :]
+                if still_interesting({**contents, name: candidate}):
+                    objects = candidate
+                    contents[name] = objects
+                    shrunk = True
+                    break
+            if not shrunk:
+                if chunk == 1:
+                    break
+                chunk = max(chunk // 2, 1)
+    return rebuild_database(db, contents)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def shrink(
+    source: str,
+    params: dict[str, Any],
+    db: Database,
+    interesting: Interesting = default_interesting,
+    max_rounds: int = 20,
+) -> tuple[str, dict[str, Any], Database]:
+    """Minimize a failing (query, params, database) triple.
+
+    The input must itself be interesting; the result is the smallest triple
+    the reductions can reach that still satisfies *interesting*.
+    """
+    for _ in range(max_rounds):
+        progress = False
+        for candidate in _query_candidates(source, params):
+            if len(candidate) >= len(source):
+                continue
+            candidate_params = _prune_params(candidate, params)
+            if interesting(candidate, candidate_params, db):
+                source, params = candidate, candidate_params
+                progress = True
+                break
+        if not progress:
+            break
+    db = _shrink_extents(source, params, db, interesting)
+    return source, params, db

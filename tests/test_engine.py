@@ -182,7 +182,8 @@ class TestExecution:
         assert isinstance(select, PSelect)
         assert select.rows_produced == 3
         assert select.children()[0].rows_produced == 6
-        assert physical.total_rows() == 9
+        # 6 (scan) + 3 (select) + 1 (the root's scalar result row)
+        assert physical.total_rows() == 10
 
 
 class TestMergeJoin:

@@ -1,0 +1,66 @@
+"""Replay of fuzzer-found repro artifacts.
+
+Every JSON file under ``tests/fuzz_repros/`` is a self-contained sample —
+query, parameters, schema, data, indexes — that the differential fuzzer
+once flagged.  Each one is replayed through every execution path on every
+test run:
+
+* ``expect: agreement`` artifacts pin *fixed* bugs: all paths must agree,
+  forever;
+* ``expect: disagreement`` artifacts pin *known divergences* (documented
+  model limitations): the suite fails loudly if the behaviour silently
+  changes, so the documentation can never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing.oracle import check_sample
+from repro.testing.repro_io import load_repro
+
+REPRO_DIR = Path(__file__).parent / "fuzz_repros"
+REPRO_FILES = sorted(REPRO_DIR.glob("*.json"))
+
+
+def test_repro_directory_is_populated():
+    assert REPRO_FILES, f"no repro artifacts under {REPRO_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[p.stem for p in REPRO_FILES]
+)
+def test_replay_repro(path: Path):
+    data = json.loads(path.read_text())
+    expect = data.get("expect", "agreement")
+    assert expect in ("agreement", "disagreement"), f"bad expect in {path.name}"
+
+    source, params, db = load_repro(path)
+    verdict = check_sample(source, params, db)
+    if expect == "agreement":
+        assert verdict.agreed, (
+            f"{path.name} regressed — paths disagree again:\n{verdict.describe()}"
+        )
+    else:
+        assert not verdict.agreed, (
+            f"{path.name} is pinned as a known divergence but all paths now "
+            f"agree — the limitation was fixed; update the artifact (and its "
+            f"documentation) to expect agreement:\n{verdict.describe()}"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[p.stem for p in REPRO_FILES]
+)
+def test_repro_files_are_well_formed(path: Path):
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert data["description"], f"{path.name} needs a description"
+    assert isinstance(data["source"], str) and data["source"]
+    # The loader must round-trip every artifact without error.
+    source, params, db = load_repro(path)
+    assert source == data["source"]
+    assert set(db.extent_names()) == set(data["extents"])
