@@ -37,7 +37,7 @@ from repro.algebra.operators import (
 from repro.calculus.evaluator import EvaluationError, Evaluator as TermEvaluator, ExtentProvider
 from repro.calculus.monoids import CollectionMonoid, Monoid
 from repro.calculus.terms import Term
-from repro.data.values import NULL, CollectionValue, is_null
+from repro.data.values import NULL, CollectionValue, identity_key, is_null
 
 Env = dict[str, Any]
 
@@ -209,7 +209,12 @@ class PlanEvaluator:
         keys_to_env: dict[tuple[Any, ...], Env] = {}
         for env in self.stream(plan.child):
             self.steps += 1
-            key = tuple(env[col] for col in plan.group_by)
+            # Group by object identity, not value: the unnesting translation
+            # (rule C5) groups by the outer range variables assuming bindings
+            # are distinguishable, and two stored objects with equal state
+            # are still distinct objects.  identity_key degrades to the plain
+            # value for identity-free bindings.
+            key = tuple(identity_key(env[col]) for col in plan.group_by)
             if key not in groups:
                 groups[key] = monoid.zero
                 order.append(key)

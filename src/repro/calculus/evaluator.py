@@ -41,7 +41,7 @@ from repro.calculus.terms import (
     Var,
     Zero,
 )
-from repro.data.values import NULL, CollectionValue, Record, is_null
+from repro.data.values import NULL, CollectionValue, Record, identity_eq, is_null
 
 
 class EvaluationError(Exception):
@@ -294,7 +294,15 @@ Evaluator._DISPATCH = {
 
 
 def apply_binop(op: str, left: Any, right: Any) -> Any:
-    """Apply a strict primitive binary operator to two non-NULL values."""
+    """Apply a strict primitive binary operator to two non-NULL values.
+
+    Equality follows the OO model: scalars and plain values compare by
+    value, stored objects by identity (see
+    :func:`repro.data.values.identity_eq`).  Every evaluator in the system
+    — calculus, definitional algebra semantics, physical operators — routes
+    ``=`` through this single function, so no execution path can disagree
+    about what object equality means.
+    """
     if op == "+":
         return left + right
     if op == "-":
@@ -306,9 +314,9 @@ def apply_binop(op: str, left: Any, right: Any) -> Any:
             raise EvaluationError("division by zero")
         return left / right
     if op == "==":
-        return left == right
+        return identity_eq(left, right)
     if op == "!=":
-        return left != right
+        return not identity_eq(left, right)
     if op == "<":
         return left < right
     if op == "<=":

@@ -366,6 +366,25 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the structural pipeline invariant checks",
     )
+    parser.add_argument(
+        "--duplicate-probability",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "chance of generating value-equal duplicate objects "
+            "(default: schemagen default; exercises the object-identity "
+            "layer)"
+        ),
+    )
+    parser.add_argument(
+        "--synthetic-oids",
+        action="store_true",
+        help=(
+            "back-compat: stamp a unique 'oid' attribute on every generated "
+            "object (the pre-identity-layer scheme; disables duplicates)"
+        ),
+    )
     return parser
 
 
@@ -375,12 +394,18 @@ def run_fuzz_command(argv: list[str], out=None) -> int:
 
     out = out if out is not None else sys.stdout
     args = build_fuzz_parser().parse_args(argv)
+    from repro.testing.schemagen import SchemaGenConfig
+
+    schema_config = SchemaGenConfig(synthetic_oids=args.synthetic_oids)
+    if args.duplicate_probability is not None:
+        schema_config.duplicate_probability = args.duplicate_probability
     config = FuzzConfig(
         seed=args.seed,
         iterations=args.iterations,
         save_repros=args.save_repros,
         shrink=not args.no_shrink,
         invariants=not args.no_invariants,
+        schema_config=schema_config,
     )
     start = time.perf_counter()
 

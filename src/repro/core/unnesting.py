@@ -244,6 +244,12 @@ class _Translator:
             result: Operator = Reduce(plan, comp.monoid_name, head, residual)
             self.trace.record("C2", f"reduce[{comp.monoid_name}]", result)
             return result
+        # Rule C5: the Γ grouping variables are the range variables in scope
+        # at box entry.  The paper's correctness argument assumes bindings of
+        # those variables are distinguishable *objects*; the evaluators honor
+        # that by keying groups with identity_key, so two value-equal objects
+        # drawn from a bag extent still form two separate groups (the
+        # identity layer in repro.data.values).
         result = Nest(
             plan,
             comp.monoid_name,

@@ -38,6 +38,47 @@ class Database:
         #: (extent contents, indexes, statistics).  The plan cache keys on it
         #: so stale plans are never served after the database changes.
         self.schema_version: int = 0
+        #: Next engine-assigned object identity.  Every record stored via
+        #: :meth:`add_extent` gets a database-unique OID (see :meth:`adopt`).
+        self._next_oid: int = 0
+
+    # -- object identity (OID allocation) --------------------------------------
+
+    def allocate_oid(self) -> int:
+        """Hand out the next database-unique object identity."""
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def adopt(self, value: Any) -> Any:
+        """Stamp engine OIDs onto *value* and everything stored inside it.
+
+        Records without an OID get a fresh one; records that already carry
+        an OID (e.g. reloaded from a persisted image) keep it, and the
+        allocator is bumped past it so future OIDs stay unique.  Each
+        occurrence of a value-equal duplicate in a bag is adopted
+        separately, so duplicates become identity-distinct objects.
+        Scalars and NULL pass through unchanged — only stored objects have
+        identity; query literals and computed records never go through
+        ``adopt`` and stay identity-free.
+        """
+        if isinstance(value, Record):
+            fields = {attr: self.adopt(v) for attr, v in value.items()}
+            oid = value.oid
+            if oid is None:
+                oid = self.allocate_oid()
+            elif oid >= self._next_oid:
+                self._next_oid = oid + 1
+            return Record(fields).with_oid(oid)
+        if isinstance(value, SetValue):
+            return SetValue(self.adopt(v) for v in value.elements())
+        if isinstance(value, BagValue):
+            # elements() re-expands multiplicities, so each occurrence of a
+            # value-equal duplicate is stamped with its own OID.
+            return BagValue(self.adopt(v) for v in value.elements())
+        if isinstance(value, ListValue):
+            return ListValue(self.adopt(v) for v in value.elements())
+        return value
 
     def add_extent(
         self,
@@ -49,8 +90,11 @@ class Database:
 
         *kind* selects the collection monoid of the extent (class extents in
         the paper are sets; bags and lists are supported for completeness).
+        Every object is adopted on the way in: it receives an engine OID
+        (preserving any it already carries), making value-equal duplicates
+        in bag extents identity-distinct, as the OO model requires.
         """
-        items = list(objects)
+        items = [self.adopt(obj) for obj in objects]
         if kind == "set":
             self._extents[name] = SetValue(items)
         elif kind == "bag":

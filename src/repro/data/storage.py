@@ -16,7 +16,10 @@ Format sketch::
 
 Values are encoded with one-key tag objects so scalars stay plain JSON:
 ``{"$record": {...}}``, ``{"$set": [...]}``, ``{"$bag": [[item, count]]}``,
-``{"$list": [...]}``, ``{"$null": true}``.
+``{"$list": [...]}``, ``{"$null": true}``.  A stored object's identity rides
+along as ``{"$record": {...}, "$oid": n}``; since the bag encoding groups
+elements by their full encoding, value-equal objects with different OIDs
+stay distinct entries and identity round-trips losslessly.
 """
 
 from __future__ import annotations
@@ -65,11 +68,21 @@ class StorageError(Exception):
 
 
 def encode_value(value: Any) -> Any:
-    """Encode a runtime value as JSON-compatible data."""
+    """Encode a runtime value as JSON-compatible data.
+
+    A record's engine-assigned OID is persisted as a ``$oid`` sibling of
+    ``$record``, so object identity survives a save/load round trip (two
+    value-equal duplicates in a bag stay distinct objects).
+    """
     if is_null(value):
         return {"$null": True}
     if isinstance(value, Record):
-        return {"$record": {k: encode_value(v) for k, v in value.items()}}
+        encoded: dict[str, Any] = {
+            "$record": {k: encode_value(v) for k, v in value.items()}
+        }
+        if value.oid is not None:
+            encoded["$oid"] = value.oid
+        return encoded
     if isinstance(value, SetValue):
         return {"$set": [encode_value(v) for v in value.elements()]}
     if isinstance(value, BagValue):
@@ -94,7 +107,12 @@ def decode_value(data: Any) -> Any:
         if "$null" in data:
             return NULL
         if "$record" in data:
-            return Record({k: decode_value(v) for k, v in data["$record"].items()})
+            record = Record(
+                {k: decode_value(v) for k, v in data["$record"].items()}
+            )
+            if "$oid" in data:
+                record = record.with_oid(data["$oid"])
+            return record
         if "$set" in data:
             return SetValue(decode_value(v) for v in data["$set"])
         if "$bag" in data:

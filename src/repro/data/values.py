@@ -7,9 +7,21 @@ attributes), the three collection kinds (sets, bags, lists), and ``NULL``.
 Every value in this module is *immutable and hashable*.  This is a deliberate
 engineering choice: the nest operator of the algebra groups streams by
 arbitrary value keys, and the set monoid must deduplicate arbitrary elements;
-hashability makes both O(1) per element.  Database objects are plain
-:class:`Record` values whose identity, when needed, is an ``oid`` attribute
-(see :mod:`repro.data.database`).
+hashability makes both O(1) per element.
+
+Object identity.  The paper's data model is object-oriented: two objects
+with identical state are still *distinct* objects.  Stored objects are
+:class:`Record` values carrying an engine-assigned OID (stamped by
+:meth:`repro.data.database.Database.add_extent`), held *outside* structural
+equality: ``==``/``hash`` on records stay purely value-based, so monoid
+set-dedup and cross-path result comparison keep deep value equality.  Code
+that must distinguish objects — grouping keys in the nest operator,
+equi-join keys, object equality in queries — goes through
+:func:`identity_key` / :func:`identity_eq`, which collapse to plain value
+semantics for identity-free values (literals and computed records never get
+an OID).  :class:`BagValue` stores its elements keyed by identity so a bag
+extent can hold two value-equal but distinct objects without conflating
+them; its public ``==``/``hash``/``count`` remain value-based.
 """
 
 from __future__ import annotations
@@ -66,20 +78,30 @@ class Record(Mapping[str, Any]):
     ``record.get``).  Records compare and hash structurally, so they can be
     set elements and grouping keys.
 
+    A record may additionally carry an engine-assigned :attr:`oid` — the
+    object identity of the paper's OO model.  The OID deliberately does
+    *not* participate in ``==``/``hash`` (two objects with identical state
+    are value-equal); identity-sensitive code uses :func:`identity_key`.
+    Derived records (:meth:`with_field`, query-built structs) carry no OID.
+
     >>> r = Record(name="Smith", age=40)
     >>> r["name"]
     'Smith'
     >>> r == Record(age=40, name="Smith")
     True
+    >>> r.with_oid(7) == r and r.with_oid(7).oid == 7
+    True
     """
 
-    __slots__ = ("_fields", "_hash")
+    __slots__ = ("_fields", "_hash", "_oid", "_ikey")
 
     def __init__(self, _fields: Mapping[str, Any] | None = None, **kwargs: Any):
         fields: dict[str, Any] = dict(_fields) if _fields else {}
         fields.update(kwargs)
         object.__setattr__(self, "_fields", fields)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_oid", None)
+        object.__setattr__(self, "_ikey", None)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Record is immutable")
@@ -106,10 +128,33 @@ class Record(Mapping[str, Any]):
         return tuple(sorted(self._fields))
 
     def with_field(self, name: str, value: Any) -> "Record":
-        """A copy of this record with attribute *name* set to *value*."""
+        """A copy of this record with attribute *name* set to *value*.
+
+        The copy is a *derived* value, not the stored object — it carries
+        no OID even when this record has one.
+        """
         fields = dict(self._fields)
         fields[name] = value
         return Record(fields)
+
+    # -- object identity ---------------------------------------------------
+
+    @property
+    def oid(self) -> int | None:
+        """The engine-assigned object identity, or None for plain values."""
+        return self._oid
+
+    def with_oid(self, oid: int) -> "Record":
+        """This record stamped with object identity *oid*.
+
+        The field mapping is shared with the original, so stamping is O(1).
+        """
+        stamped = Record.__new__(Record)
+        object.__setattr__(stamped, "_fields", self._fields)
+        object.__setattr__(stamped, "_hash", self._hash)
+        object.__setattr__(stamped, "_oid", oid)
+        object.__setattr__(stamped, "_ikey", None)
+        return stamped
 
     # -- structural equality ----------------------------------------------
 
@@ -186,56 +231,89 @@ class SetValue(CollectionValue):
 
 
 class BagValue(CollectionValue):
-    """An immutable bag (multiset) — carrier of the bag monoid (⊎, {{}})."""
+    """An immutable bag (multiset) — carrier of the bag monoid (⊎, {{}}).
 
-    __slots__ = ("_counts",)
+    Elements are stored keyed by :func:`identity_key`, so a bag can hold
+    two value-equal but identity-distinct objects without conflating them
+    (a bag extent of duplicates is exactly where the OO model and plain
+    multiset-of-values semantics diverge).  The *public* interface —
+    ``==``, ``hash``, :meth:`count`, ``in`` — remains value-based, matching
+    the value semantics of every other collection.
+    """
+
+    __slots__ = ("_entries",)
 
     def __init__(self, items: Iterable[Any] = ()):
-        counts: dict[Any, int] = {}
+        # identity key -> (representative element, multiplicity)
+        entries: dict[Any, tuple[Any, int]] = {}
         if isinstance(items, BagValue):
-            counts = dict(items._counts)
+            entries = dict(items._entries)
         else:
             for item in items:
-                counts[item] = counts.get(item, 0) + 1
-        object.__setattr__(self, "_counts", counts)
+                key = identity_key(item)
+                found = entries.get(key)
+                entries[key] = (item, 1) if found is None else (found[0], found[1] + 1)
+        object.__setattr__(self, "_entries", entries)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("BagValue is immutable")
 
     @classmethod
     def from_counts(cls, counts: Mapping[Any, int]) -> "BagValue":
+        entries: dict[Any, tuple[Any, int]] = {}
+        for value, count in counts.items():
+            if count <= 0:
+                continue
+            key = identity_key(value)
+            found = entries.get(key)
+            entries[key] = (
+                (value, count) if found is None else (found[0], found[1] + count)
+            )
         bag = cls()
-        object.__setattr__(bag, "_counts", {k: v for k, v in counts.items() if v > 0})
+        object.__setattr__(bag, "_entries", entries)
         return bag
 
+    def _value_counts(self) -> dict[Any, int]:
+        """Multiplicity per *value* (identity collapsed) — the bag's public
+        value semantics."""
+        counts: dict[Any, int] = {}
+        for value, count in self._entries.values():
+            counts[value] = counts.get(value, 0) + count
+        return counts
+
     def count(self, value: Any) -> int:
-        """Multiplicity of *value* in the bag."""
-        return self._counts.get(value, 0)
+        """Multiplicity of *value* in the bag (by value, ignoring identity)."""
+        return sum(c for v, c in self._entries.values() if v == value)
 
     def elements(self) -> Iterator[Any]:
-        for value, count in self._counts.items():
+        for value, count in self._entries.values():
             for _ in range(count):
                 yield value
 
     def __len__(self) -> int:
-        return sum(self._counts.values())
+        return sum(count for _, count in self._entries.values())
 
     def __contains__(self, value: Any) -> bool:
-        return value in self._counts
+        return any(v == value for v, _ in self._entries.values())
 
     def additive_union(self, other: "BagValue") -> "BagValue":
-        counts = dict(self._counts)
-        for value, count in other._counts.items():
-            counts[value] = counts.get(value, 0) + count
-        return BagValue.from_counts(counts)
+        entries = dict(self._entries)
+        for key, (value, count) in other._entries.items():
+            found = entries.get(key)
+            entries[key] = (
+                (value, count) if found is None else (found[0], found[1] + count)
+            )
+        bag = BagValue()
+        object.__setattr__(bag, "_entries", entries)
+        return bag
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BagValue):
             return NotImplemented
-        return self._counts == other._counts
+        return self._value_counts() == other._value_counts()
 
     def __hash__(self) -> int:
-        return hash(("bag", frozenset(self._counts.items())))
+        return hash(("bag", frozenset(self._value_counts().items())))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(v) for v in _stable_order(list(self.elements())))
@@ -296,3 +374,96 @@ def ensure_hashable(value: Any) -> Any:
         raise TypeError(f"value of type {type(value).__name__} is not hashable")
     hash(value)
     return value
+
+
+# ---------------------------------------------------------------------------
+# Object identity
+# ---------------------------------------------------------------------------
+
+#: Tags for identity keys.  The NUL prefix keeps them disjoint from every
+#: real value in the model (values never contain raw Python tuples).
+_OID_TAG = "\x00oid"
+_REC_TAG = "\x00rec"
+_SET_TAG = "\x00set"
+_BAG_TAG = "\x00bag"
+_LIST_TAG = "\x00list"
+
+
+def identity_key(value: Any) -> Any:
+    """A hashable key that distinguishes values by *object identity*.
+
+    For identity-free values (scalars, NULL, literals, computed records)
+    the value itself is returned unchanged, so identity keys degrade to
+    plain value semantics exactly where the OO model prescribes value
+    equality.  For a record stamped with an OID the key is the OID alone;
+    for containers holding identity-bearing elements the key recurses.
+    Two stored objects with identical state therefore get *different* keys,
+    which is what lets grouping and joins keep them apart.
+
+    >>> identity_key(Record(j=1)) == identity_key(Record(j=1))
+    True
+    >>> identity_key(Record(j=1).with_oid(0)) == identity_key(Record(j=1).with_oid(1))
+    False
+    """
+    if isinstance(value, Record):
+        cached = value._ikey
+        if cached is not None:
+            return cached
+        if value._oid is not None:
+            key: Any = (_OID_TAG, value._oid)
+        else:
+            items = value._key()
+            parts = tuple((attr, identity_key(v)) for attr, v in items)
+            if all(part is v for (_, part), (_, v) in zip(parts, items)):
+                key = value  # identity-free all the way down
+            else:
+                key = (_REC_TAG, parts)
+        object.__setattr__(value, "_ikey", key)
+        return key
+    if isinstance(value, SetValue):
+        keys = frozenset(identity_key(v) for v in value._items)
+        if keys == value._items:
+            return value  # no member carries identity
+        return (_SET_TAG, keys)
+    if isinstance(value, BagValue):
+        entries = value._entries
+        if all(key is entry[0] for key, entry in entries.items()):
+            return value
+        return (_BAG_TAG, frozenset((k, c) for k, (_, c) in entries.items()))
+    if isinstance(value, ListValue):
+        keys = tuple(identity_key(v) for v in value._items)
+        if all(k is v for k, v in zip(keys, value._items)):
+            return value
+        return (_LIST_TAG, keys)
+    return value
+
+
+def has_identity(value: Any) -> bool:
+    """True iff *value* carries object identity anywhere inside it."""
+    return identity_key(value) is not value
+
+
+def identity_eq(left: Any, right: Any) -> bool:
+    """Equality by object identity where present, by value otherwise.
+
+    This is what OQL ``=`` means on the OO model: scalars and plain values
+    compare by value; stored objects compare by OID (a literal twin of a
+    stored object is *not* that object).  All execution paths share this
+    predicate via ``apply_binop``, so they cannot disagree on it.
+    """
+    return identity_key(left) == identity_key(right)
+
+
+def identity_sort_key(key: Any) -> tuple:
+    """A total order over identity keys / scalar join keys, for sort-merge.
+
+    Ranks values by kind so mixed-type inputs never raise TypeError:
+    numbers (booleans included) sort together, then strings, then
+    everything else by repr.  Values whose sort keys are equal are not
+    necessarily equal — merge loops must still compare the raw keys.
+    """
+    if isinstance(key, (bool, int, float)):
+        return (0, float(key))
+    if isinstance(key, str):
+        return (1, key)
+    return (2, type(key).__name__, repr(key))

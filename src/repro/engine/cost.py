@@ -85,7 +85,10 @@ class CostModel:
                         ndv = getattr(self._database, "distinct_count", lambda *a: None)(
                             child.extent, side.attr
                         )
-                        if ndv:
+                        # ndv can be 0 for an analyzed-but-empty extent, or
+                        # None when unanalyzed; both must fall back to the
+                        # textbook default instead of dividing by zero.
+                        if ndv is not None and ndv > 0:
                             estimated = 1.0 / ndv
                             break
             result *= estimated if estimated is not None else self.selectivity(part)

@@ -23,7 +23,13 @@ from typing import Any, Iterator, Mapping
 from repro.calculus.evaluator import EvaluationError, Evaluator as TermEvaluator, ExtentProvider
 from repro.calculus.monoids import CollectionMonoid, Monoid
 from repro.calculus.terms import Const, Term
-from repro.data.values import NULL, CollectionValue, is_null
+from repro.data.values import (
+    NULL,
+    CollectionValue,
+    identity_key,
+    identity_sort_key,
+    is_null,
+)
 
 Env = dict[str, Any]
 
@@ -266,17 +272,23 @@ class PHashJoin(PhysicalOperator):
         return (self.left, self.right)
 
     def rows(self) -> Iterator[Env]:
+        # Keys are wrapped with identity_key so that `=` on stored objects
+        # matches hash-probe semantics to apply_binop's identity equality.
         table: dict[tuple[Any, ...], list[Env]] = {}
         for right_env in self.right.rows():
             key = tuple(
-                self._context.value(k, right_env) for k in self.right_keys
+                identity_key(self._context.value(k, right_env))
+                for k in self.right_keys
             )
             table.setdefault(key, []).append(right_env)
         padding = {col: NULL for col in self.right_columns}
         for left_env in self.left.rows():
-            key = tuple(self._context.value(k, left_env) for k in self.left_keys)
+            values = tuple(
+                self._context.value(k, left_env) for k in self.left_keys
+            )
+            key = tuple(identity_key(v) for v in values)
             matched = False
-            if not any(is_null(part) for part in key):
+            if not any(is_null(part) for part in values):
                 for right_env in table.get(key, ()):
                     env = {**left_env, **right_env}
                     if self._context.holds(self.residual, env):
@@ -298,12 +310,16 @@ class PHashJoin(PhysicalOperator):
 
 
 class PMergeJoin(PhysicalOperator):
-    """Sort-merge (outer-)join on a single totally-ordered equi-key.
+    """Sort-merge (outer-)join on a single equi-key.
 
-    Both inputs are materialized and sorted by their key expression, then
-    merged; duplicate key runs produce the cross product of the runs.  Keys
-    must be mutually orderable (numbers or strings) — the planner only
-    selects this algorithm when asked to (``PlannerOptions.merge_joins``).
+    Both inputs are materialized, NULL keys filtered symmetrically on both
+    sides (a NULL never equi-joins; left-side NULL rows still pad on an
+    outer join), and the survivors sorted by a total-order wrapper
+    (``identity_sort_key``) that ranks mixed-type keys instead of raising
+    TypeError.  Duplicate key runs produce the cross product of the runs;
+    within a run the *raw* identity keys are re-checked, since the sort
+    wrapper's order is coarser than key equality.  The planner only selects
+    this algorithm when asked to (``PlannerOptions.merge_joins``).
     """
 
     def __init__(
@@ -331,39 +347,48 @@ class PMergeJoin(PhysicalOperator):
         return (self.left, self.right)
 
     def rows(self) -> Iterator[Env]:
-        left_rows = [
-            (self._context.value(self.left_key, env), env)
-            for env in self.left.rows()
-        ]
+        # (sort wrapper, identity key, env) per row; NULL keys are filtered
+        # symmetrically — a NULL key never equi-joins on either side.
+        def keyed(source: PhysicalOperator, key_term: Term) -> Iterator[tuple]:
+            for env in source.rows():
+                value = self._context.value(key_term, env)
+                if is_null(value):
+                    yield None, None, env
+                else:
+                    key = identity_key(value)
+                    yield identity_sort_key(key), key, env
+
+        left_rows = list(keyed(self.left, self.left_key))
         right_rows = [
-            (self._context.value(self.right_key, env), env)
-            for env in self.right.rows()
+            row for row in keyed(self.right, self.right_key) if row[0] is not None
         ]
-        right_rows = [(k, env) for k, env in right_rows if not is_null(k)]
-        right_rows.sort(key=lambda kv: kv[0])
-        nullish = [(k, env) for k, env in left_rows if is_null(k)]
-        sortable = [(k, env) for k, env in left_rows if not is_null(k)]
-        sortable.sort(key=lambda kv: kv[0])
+        right_rows.sort(key=lambda row: row[0])
+        nullish = [env for wrapper, _, env in left_rows if wrapper is None]
+        sortable = [row for row in left_rows if row[0] is not None]
+        sortable.sort(key=lambda row: row[0])
         padding = {col: NULL for col in self.right_columns}
 
         index = 0
-        for key, left_env in sortable:
-            while index < len(right_rows) and right_rows[index][0] < key:
+        for wrapper, key, left_env in sortable:
+            while index < len(right_rows) and right_rows[index][0] < wrapper:
                 index += 1
             matched = False
             probe = index
-            while probe < len(right_rows) and right_rows[probe][0] == key:
-                env = {**left_env, **right_rows[probe][1]}
-                if self._context.holds(self.residual, env):
-                    matched = True
-                    self.rows_produced += 1
-                    yield env
+            while probe < len(right_rows) and right_rows[probe][0] == wrapper:
+                # Wrapper equality is coarser than key equality: confirm on
+                # the raw identity keys before pairing.
+                if right_rows[probe][1] == key:
+                    env = {**left_env, **right_rows[probe][2]}
+                    if self._context.holds(self.residual, env):
+                        matched = True
+                        self.rows_produced += 1
+                        yield env
                 probe += 1
             if self.outer and not matched:
                 self.rows_produced += 1
                 yield {**left_env, **padding}
         if self.outer:
-            for _, left_env in nullish:
+            for left_env in nullish:
                 self.rows_produced += 1
                 yield {**left_env, **padding}
 
@@ -452,7 +477,9 @@ class PHashNest(PhysicalOperator):
         order: list[tuple[Any, ...]] = []
         group_envs: dict[tuple[Any, ...], Env] = {}
         for env in self.child.rows():
-            key = tuple(env[col] for col in self.group_by)
+            # Identity-aware grouping: distinct stored objects with equal
+            # state must form distinct groups (see algebra evaluator _nest).
+            key = tuple(identity_key(env[col]) for col in self.group_by)
             if key not in groups:
                 groups[key] = monoid.zero
                 order.append(key)

@@ -84,15 +84,13 @@ def tokenize(source: str) -> list[Token]:
             index += 1
             continue
         if source.startswith("--", index):  # line comment
+            # A comment on the last line may end at EOF with no newline;
+            # find() returning -1 must consume to end-of-source, not wrap.
             newline = source.find("\n", index)
             index = length if newline == -1 else newline + 1
             continue
         if char == '"':
-            end = source.find('"', index + 1)
-            if end == -1:
-                raise OQLSyntaxError("unterminated string literal", source, index)
-            tokens.append(Token("string", source[index + 1 : end], index))
-            index = end + 1
+            index = _lex_string(source, index, tokens)
             continue
         if char.isdigit():
             index = _lex_number(source, index, tokens)
@@ -117,6 +115,50 @@ def tokenize(source: str) -> list[Token]:
             raise OQLSyntaxError(f"unexpected character {char!r}", source, index)
     tokens.append(Token("eof", "", length))
     return tokens
+
+
+#: Backslash escapes recognized inside string literals.
+_STRING_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+}
+
+
+def _lex_string(source: str, index: int, tokens: list[Token]) -> int:
+    """Lex a double-quoted string literal starting at *index*.
+
+    Supports the usual backslash escapes (``\\"``, ``\\\\``, ``\\n``,
+    ``\\t``, ``\\r``); an escaped quote does not terminate the literal.
+    """
+    start = index
+    length = len(source)
+    parts: list[str] = []
+    index += 1
+    while index < length:
+        char = source[index]
+        if char == '"':
+            tokens.append(Token("string", "".join(parts), start))
+            return index + 1
+        if char == "\\":
+            if index + 1 >= length:
+                raise OQLSyntaxError(
+                    "unterminated string literal", source, start
+                )
+            escape = source[index + 1]
+            try:
+                parts.append(_STRING_ESCAPES[escape])
+            except KeyError:
+                raise OQLSyntaxError(
+                    f"unknown string escape \\{escape}", source, index
+                ) from None
+            index += 2
+            continue
+        parts.append(char)
+        index += 1
+    raise OQLSyntaxError("unterminated string literal", source, start)
 
 
 def _lex_number(source: str, index: int, tokens: list[Token]) -> int:

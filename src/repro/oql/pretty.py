@@ -112,7 +112,14 @@ def _literal(node: Literal) -> str:
     if value is False:
         return "false"
     if isinstance(value, str):
-        return f'"{value}"'
+        escaped = (
+            value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+            .replace("\r", "\\r")
+        )
+        return f'"{escaped}"'
     return str(value)
 
 

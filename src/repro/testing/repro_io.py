@@ -7,7 +7,10 @@ definitions — that :func:`load_repro` turns back into a runnable sample.
 ``tests/fuzz_repros/`` forever, so a fixed bug stays fixed.
 
 The encoding is deliberately explicit (tagged dicts, not pickles): repro
-files are meant to be read, edited, and committed.
+files are meant to be read, edited, and committed.  Stored objects keep
+their engine-assigned identity via a ``$oid`` sibling of ``$record``;
+objects without one are re-stamped with fresh OIDs on load (the replayed
+sample still distinguishes value-equal duplicates, just under new OIDs).
 """
 
 from __future__ import annotations
@@ -92,7 +95,12 @@ def _encode_value(value: Any) -> Any:
     if is_null(value):
         return {"$null": True}
     if isinstance(value, Record):
-        return {"$record": {attr: _encode_value(v) for attr, v in value.items()}}
+        encoded: dict[str, Any] = {
+            "$record": {attr: _encode_value(v) for attr, v in value.items()}
+        }
+        if value.oid is not None:
+            encoded["$oid"] = value.oid
+        return encoded
     if isinstance(value, SetValue):
         return {"$set": [_encode_value(v) for v in value]}
     if isinstance(value, BagValue):
@@ -109,9 +117,12 @@ def _decode_value(data: Any) -> Any:
         if "$null" in data:
             return NULL
         if "$record" in data:
-            return Record(
+            record = Record(
                 {attr: _decode_value(v) for attr, v in data["$record"].items()}
             )
+            if "$oid" in data:
+                record = record.with_oid(data["$oid"])
+            return record
         if "$set" in data:
             return SetValue(_decode_value(v) for v in data["$set"])
         if "$bag" in data:

@@ -17,15 +17,17 @@ Numeric design notes (they matter for the differential oracle):
   matter which order an execution path adds them in;
 * all numbers are non-negative, matching the paper's (max, 0) monoid.
 
-Every generated object — top-level extent members and nested collection
-elements alike — carries a database-unique ``oid`` attribute.  The paper's
-data model is object-oriented: two objects with identical state are still
-*distinct*, and the unnesting translation leans on that (its Γ operator
-groups by the outer range variables, which conflates value-equal duplicates
-in a bag).  Value-based records can only honour the OO semantics if no two
-objects are value-equal, and the ``oid`` guarantees exactly that.  The
-divergence that appears without it is pinned as a known-divergence repro in
-``tests/fuzz_repros/``.
+The generator deliberately emits *value-equal duplicate objects* (with
+probability :attr:`SchemaGenConfig.duplicate_probability`, both as extra
+extent members and as repeated nested-collection elements).  The paper's
+data model is object-oriented — two objects with identical state are still
+distinct — and the engine now honours that via engine-assigned OIDs
+(:meth:`repro.data.database.Database.adopt`), so the fuzzer probes exactly
+the spot where value semantics and object semantics diverge.  Earlier
+versions instead stamped a synthetic unique ``oid`` *attribute* onto every
+object to keep value-based records distinguishable; that workaround is
+retained behind :attr:`SchemaGenConfig.synthetic_oids` purely so old seeds
+and repro artifacts can be replayed byte-for-byte.
 """
 
 from __future__ import annotations
@@ -76,6 +78,16 @@ class SchemaGenConfig:
     nullable_probability: float = 0.4
     bag_extent_probability: float = 0.2
     index_probability: float = 0.6
+    #: Chance that a freshly generated object is immediately duplicated
+    #: (value-equal, identity-distinct) — in the extent for top-level
+    #: objects, in the collection for nested elements.  Duplicates in set
+    #: extents collapse by value; in bag extents they survive as distinct
+    #: objects, which is the case the identity layer exists for.
+    duplicate_probability: float = 0.2
+    #: Back-compat: stamp every object with a unique ``oid`` *attribute*
+    #: (the pre-identity-layer workaround).  Only useful for replaying old
+    #: seeds; implies no value-equal duplicates can occur.
+    synthetic_oids: bool = False
 
 
 @dataclass
@@ -100,7 +112,7 @@ def random_schema(
     num_classes = rng.randint(config.min_classes, config.max_classes)
     for index in range(num_classes):
         class_name = f"C{index}"
-        attrs: dict[str, object] = {"oid": INT}
+        attrs: dict[str, object] = {"oid": INT} if config.synthetic_oids else {}
         num_scalars = rng.randint(config.min_scalar_attrs, config.max_scalar_attrs)
         for a in range(num_scalars):
             kind = rng.choice(("int", "int", "float", "string"))
@@ -111,7 +123,10 @@ def random_schema(
             else:
                 attrs[f"s{a}"] = STRING
         for n in range(rng.randint(0, config.max_nested_attrs)):
-            inner = RecordType((("oid", INT), ("m0", INT), ("m1", STRING)))
+            inner_fields = (("m0", INT), ("m1", STRING))
+            if config.synthetic_oids:
+                inner_fields = (("oid", INT),) + inner_fields
+            inner = RecordType(inner_fields)
             monoid = "bag" if rng.random() < config.bag_extent_probability else "set"
             attrs[f"kids{n}"] = CollectionType(monoid, inner)
         generated.schema.define_class(class_name, **attrs)  # type: ignore[arg-type]
@@ -151,14 +166,22 @@ def _random_record(
             fields[attr] = next(oids)
         elif isinstance(attr_type, CollectionType):
             size = rng.randint(0, config.max_nested_size)
-            inner = [
-                Record(
-                    oid=next(oids),
-                    m0=rng.randint(0, INT_RANGE),
-                    m1=rng.choice(STRING_POOL),
-                )
-                for _ in range(size)
-            ]
+            inner: list[Record] = []
+            for _ in range(size):
+                member_fields: dict[str, object] = {}
+                if config.synthetic_oids:
+                    member_fields["oid"] = next(oids)
+                member_fields["m0"] = rng.randint(0, INT_RANGE)
+                member_fields["m1"] = rng.choice(STRING_POOL)
+                inner.append(Record(member_fields))
+                if (
+                    not config.synthetic_oids
+                    and rng.random() < config.duplicate_probability
+                ):
+                    # A value-equal twin; Database.adopt stamps each
+                    # occurrence with its own OID, so in a bag the twins
+                    # stay distinct objects.
+                    inner.append(Record(member_fields))
             if attr_type.monoid_name == "bag":
                 fields[attr] = BagValue(inner)
             else:
@@ -190,10 +213,18 @@ def random_database(
     oids = itertools.count()
     for extent_name, class_name in generated.extents.items():
         size = rng.randint(config.min_extent_size, config.max_extent_size)
-        objects = [
-            _random_record(rng, generated, class_name, config, oids)
-            for _ in range(size)
-        ]
+        objects = []
+        for _ in range(size):
+            obj = _random_record(rng, generated, class_name, config, oids)
+            objects.append(obj)
+            if (
+                not config.synthetic_oids
+                and rng.random() < config.duplicate_probability
+            ):
+                # Store the same record value twice; adoption assigns each
+                # occurrence its own OID (set extents still collapse the
+                # pair by value, bag extents keep two distinct objects).
+                objects.append(obj)
         db.add_extent(extent_name, objects, kind=generated.extent_kinds[extent_name])
     # Hash indexes on a few scalar attributes, so the index-scan path of the
     # planner participates in the differential comparison.

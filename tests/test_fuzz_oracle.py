@@ -27,7 +27,7 @@ from repro.testing.oracle import (
 )
 from repro.testing.qgen import QueryGenerator
 from repro.testing.repro_io import decode_sample, encode_sample
-from repro.testing.schemagen import random_database
+from repro.testing.schemagen import SchemaGenConfig, random_database
 from repro.testing.shrink import rebuild_database, shrink
 
 
@@ -63,16 +63,51 @@ class TestGenerators:
                 query = gen.query()
                 parse_and_translate(query.source, db.schema)  # must not raise
 
-    def test_every_object_has_a_unique_oid(self):
+    def test_every_object_has_a_unique_engine_oid(self):
+        # Stored objects get engine-assigned identities (Database.adopt);
+        # generated schemas no longer carry a synthetic oid attribute.
         db, _ = random_database(23)
         oids = []
         for name in db.extent_names():
             for obj in db.extent(name).elements():
-                oids.append(obj["oid"])
+                assert "oid" not in obj
+                oids.append(obj.oid)
                 for value in obj.values():
                     if hasattr(value, "elements"):
-                        oids.extend(kid["oid"] for kid in value.elements())
+                        oids.extend(kid.oid for kid in value.elements())
+        assert None not in oids
         assert len(oids) == len(set(oids))
+
+    def test_synthetic_oid_attributes_behind_backcompat_flag(self):
+        db, _ = random_database(23, SchemaGenConfig(synthetic_oids=True))
+        attr_oids = []
+        for name in db.extent_names():
+            for obj in db.extent(name).elements():
+                attr_oids.append(obj["oid"])
+                for value in obj.values():
+                    if hasattr(value, "elements"):
+                        attr_oids.extend(kid["oid"] for kid in value.elements())
+        assert len(attr_oids) == len(set(attr_oids))
+
+    def test_generator_emits_value_equal_duplicates_in_bags(self):
+        # With duplicates enabled (the default), some seed produces a bag
+        # extent holding two identity-distinct but value-equal objects.
+        for seed in range(40):
+            db, generated = random_database(
+                seed, SchemaGenConfig(duplicate_probability=0.5)
+            )
+            for name, kind in generated.extent_kinds.items():
+                if kind != "bag":
+                    continue
+                objs = list(db.extent(name).elements())
+                values = {}
+                for obj in objs:
+                    values.setdefault(obj, []).append(obj.oid)
+                if any(len(oids) > 1 for oids in values.values()):
+                    dupes = [o for o in values.values() if len(o) > 1]
+                    assert all(len(set(o)) == len(o) for o in dupes)
+                    return
+        raise AssertionError("no seed produced duplicate objects in a bag")
 
     def test_params_only_contain_referenced_names(self):
         _, generated = random_database(3)
@@ -218,9 +253,11 @@ class TestShrinker:
         assert rebuilt.indexed_attributes("X") == ("k",)
         assert isinstance(rebuilt.extent("X"), type(db.extent("X")))
 
-    def test_shrinks_known_divergence(self):
-        # The pinned bag-duplicate divergence, padded with irrelevant extra
-        # objects the shrinker must strip away again.
+    def test_bag_duplicate_sample_no_longer_diverges(self):
+        # The formerly pinned bag-duplicate divergence (padded with extra
+        # objects).  The object-identity layer fixed it: the sample is no
+        # longer "interesting" to the divergence hunter, and every path
+        # agrees on it.
         from repro.data.schema import CollectionType, RecordType
         from repro.testing.shrink import default_interesting
 
@@ -242,11 +279,9 @@ class TestShrinker:
             "select struct( A: ( select v2.m from v2 in v0.kids, v3 in Y ) ) "
             "from v0 in X, v1 in Y"
         )
-        assert default_interesting(source, {}, db)
-        _, _, small_db = shrink(source, {}, db, default_interesting)
-        # The duplicate pair in Y is the essence; everything else can go.
-        assert len(small_db.extent("Y")) == 2
-        assert len(small_db.extent("X")) == 1
+        assert not default_interesting(source, {}, db)
+        verdict = check_sample(source, {}, db)
+        assert verdict.agreed, verdict.describe()
 
 
 class TestReproIO:
