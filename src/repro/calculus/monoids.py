@@ -65,9 +65,17 @@ class CollectionMonoid(Monoid):
     """A collection monoid: additionally knows how to build singletons."""
 
     unit: Callable[[Any], Any] = field(compare=False, default=None)  # type: ignore[assignment]
+    #: Bulk constructor: build the collection from an iterable of elements
+    #: in one pass.  Must equal folding singleton units (it is the same
+    #: constructor the unit uses), but is O(n) where the fold's repeated
+    #: immutable merges are O(n²) — the engine's accumulation loops
+    #: (PReduce, PHashNest) go through this.
+    from_elements: Callable[[Any], Any] = field(compare=False, default=None)  # type: ignore[assignment]
 
     def fold_elements(self, values: Any) -> Any:
         """Build a collection from an iterable of *elements* (not collections)."""
+        if self.from_elements is not None:
+            return self.from_elements(values)
         return self.fold(self.unit(v) for v in values)
 
 
@@ -90,6 +98,7 @@ SET = CollectionMonoid(
     commutative=True,
     idempotent=True,
     unit=lambda v: SetValue([v]),
+    from_elements=SetValue,
 )
 
 BAG = CollectionMonoid(
@@ -99,6 +108,7 @@ BAG = CollectionMonoid(
     commutative=True,
     idempotent=False,
     unit=lambda v: BagValue([v]),
+    from_elements=BagValue,
 )
 
 LIST = CollectionMonoid(
@@ -108,6 +118,7 @@ LIST = CollectionMonoid(
     commutative=False,
     idempotent=False,
     unit=lambda v: ListValue([v]),
+    from_elements=ListValue,
 )
 
 SUM = Monoid(name="sum", zero=0, merge=lambda a, b: a + b)

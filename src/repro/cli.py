@@ -10,7 +10,8 @@ Usage::
 The interactive shell accepts OQL queries terminated by a semicolon and the
 meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus``,
 ``\\stages`` (toggle per-query output), ``\\cache`` (plan-cache statistics),
-``\\db <name>`` (switch database), and ``\\quit``.
+``\\compile`` (toggle expression codegen), ``\\db <name>`` (switch
+database), and ``\\quit``.
 
 Prepared-statement placeholders (``:name``) take their values from repeated
 ``--param name=value`` flags::
@@ -100,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="evaluate by direct calculus interpretation only",
     )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help=(
+            "interpret expression ASTs per row instead of compiling them "
+            "to native closures (the escape hatch for codegen issues)"
+        ),
+    )
     return parser
 
 
@@ -177,6 +186,7 @@ def run_query(
     show_stages: bool = False,
     compare_naive: bool = False,
     unnest: bool = True,
+    compiled_exprs: bool = True,
     optimizer: Optimizer | None = None,
     params: dict[str, Any] | None = None,
     out=None,
@@ -185,7 +195,9 @@ def run_query(
     out = out if out is not None else sys.stdout
     params = params or {}
     if optimizer is None:
-        optimizer = Optimizer(db, OptimizerOptions(unnest=unnest))
+        optimizer = Optimizer(
+            db, OptimizerOptions(unnest=unnest, compiled_exprs=compiled_exprs)
+        )
     compiled = optimizer.compile_oql(source)
     # The REPL keeps one \set binding table across queries; only forward the
     # names this query actually declares.
@@ -241,7 +253,7 @@ def repl(db_name: str, out=None) -> None:
         f"repro OQL shell — database '{db_name}' ({db!r}).\n"
         "End queries with ';' (views: 'define <name> as <query>;').\n"
         "Meta: \\plan \\explain \\trace \\calculus \\stages \\cache "
-        "\\set name=value \\params \\views \\db <name> \\quit",
+        "\\compile \\set name=value \\params \\views \\db <name> \\quit",
         file=out,
     )
     buffer: list[str] = []
@@ -268,6 +280,16 @@ def repl(db_name: str, out=None) -> None:
             if command in flags:
                 flags[command] = not flags[command]
                 print(f"\\{command} {'on' if flags[command] else 'off'}", file=out)
+                continue
+            if command == "compile":
+                from dataclasses import replace as _replace
+
+                optimizer.options = _replace(
+                    optimizer.options,
+                    compiled_exprs=not optimizer.options.compiled_exprs,
+                )
+                state = "on" if optimizer.options.compiled_exprs else "off"
+                print(f"\\compile {state} (expression codegen)", file=out)
                 continue
             if command == "views":
                 if optimizer.views:
@@ -449,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
             show_stages=args.stages,
             compare_naive=args.naive,
             unnest=not args.no_unnest,
+            compiled_exprs=not args.no_compile,
             params=params,
         )
     except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes

@@ -81,6 +81,9 @@ class OptimizerOptions:
     hash_joins: bool = True
     index_scans: bool = True
     merge_joins: bool = False
+    #: Lower expression trees to native Python closures at plan time
+    #: (repro.engine.compile) instead of interpreting the AST per row.
+    compiled_exprs: bool = True
     #: Type-check the calculus translation (Figure 3) and the final plan
     #: (Figure 6) during compilation, failing fast on ill-typed queries.
     typecheck: bool = False

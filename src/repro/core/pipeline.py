@@ -45,6 +45,7 @@ from repro.core.rewrite import RewriteEngine
 from repro.core.simplification import simplify
 from repro.core.unnesting import UnnestingTrace, unnest, _uniquify
 from repro.data.database import Database
+from repro.engine.compile import ExprCompiler
 from repro.engine.cost import CostModel
 from repro.engine.executor import ExecutionStats, run_with_stats
 from repro.engine.planner import PlannerOptions, plan_physical
@@ -67,6 +68,7 @@ def _planner_options(options: "OptimizerOptions") -> PlannerOptions:
         hash_joins=options.hash_joins,
         index_scans=options.index_scans,
         merge_joins=options.merge_joins,
+        compiled_exprs=options.compiled_exprs,
     )
 
 
@@ -184,6 +186,14 @@ class CompiledQuery:
     stages: tuple[StageResult, ...] = ()
     #: Parameter values fixed by :meth:`bind` (merged with execute kwargs).
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: The memoized expression→closure compiler for this query.  Shared by
+    #: every execution (and every :meth:`bind` copy), so a plan-cache hit
+    #: pays zero codegen: the closures compiled for the first execution are
+    #: reused verbatim.  None until the first compiled execution, or always
+    #: when ``options.compiled_exprs`` is off.
+    _compiler: ExprCompiler | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def param_names(self) -> frozenset[str]:
@@ -239,8 +249,20 @@ class CompiledQuery:
             result = _apply_order(result, self.order_by, database, values)
         return result
 
+    def expr_compiler(self) -> ExprCompiler | None:
+        """The closure compiler shared by this query's executions (or None
+        when ``compiled_exprs`` is off), created on first use."""
+        if not self.options.compiled_exprs:
+            return None
+        if self._compiler is None:
+            self._compiler = ExprCompiler()
+        return self._compiler
+
     def physical(
-        self, database: Database, params: Mapping[str, Any] | None = None
+        self,
+        database: Database,
+        params: Mapping[str, Any] | None = None,
+        profile: bool = False,
     ) -> PhysicalOperator:
         """The physical plan bound to *database* (and parameter values)."""
         if self.optimized is None:
@@ -250,6 +272,8 @@ class CompiledQuery:
             database,
             _planner_options(self.options),
             params,
+            profile=profile,
+            compiler=self.expr_compiler(),
         )
 
     def explain(self, database: Database) -> str:
@@ -470,6 +494,7 @@ class QueryPipeline:
             from repro.algebra.typing import infer_plan_type
 
             infer_plan_type(optimized, schema)
+        expr_compiler = ExprCompiler() if options.compiled_exprs else None
         if self.database is not None:
             final = optimized
             self._stage(
@@ -479,12 +504,14 @@ class QueryPipeline:
                     final,
                     self.database,
                     _planner_options(options),
+                    compiler=expr_compiler,
                 ),
                 lambda physical: physical.explain(),
             )
         return CompiledQuery(
             source, term, prepared, logical, optimized, trace, options,
             rule_firings=engine.firings, stages=tuple(stages),
+            _compiler=expr_compiler,
         )
 
     def _stage(self, stages: list, name: str, fn, render) -> Any:
@@ -528,6 +555,7 @@ class QueryPipeline:
                 self.database,
                 _planner_options(compiled.options),
                 values,
+                compiler=compiled.expr_compiler(),
             )
         if compiled.order_by:
             stats.result = _apply_order(

@@ -405,7 +405,12 @@ def identity_key(value: Any) -> Any:
     >>> identity_key(Record(j=1).with_oid(0)) == identity_key(Record(j=1).with_oid(1))
     False
     """
-    if isinstance(value, Record):
+    # Exact-class fast paths: scalars dominate join/group keys, and the
+    # ``is``-check skips ABCMeta's __instancecheck__ on the Record test.
+    cls = value.__class__
+    if cls is bool or cls is int or cls is float or cls is str:
+        return value
+    if cls is Record or isinstance(value, Record):
         cached = value._ikey
         if cached is not None:
             return cached

@@ -1,0 +1,935 @@
+"""Expression compilation: calculus terms → native Python closures.
+
+The physical operators evaluate a handful of :class:`~repro.calculus.terms.
+Term` trees — select predicates, map heads, join keys, unnest paths, reduce
+accumulators — once **per row**.  Walking the AST through
+:class:`~repro.calculus.evaluator.Evaluator` for every row pays a large
+constant factor: a type-dispatch dictionary lookup, a bound-method call, two
+``isinstance`` NULL tests, and (for binary operations) a chain of string
+comparisons in ``apply_binop``, all per node per row.
+
+This module removes that factor by *lowering* each term, in two tiers:
+
+1. **Source generation** (the fast tier): the common row-level node kinds —
+   variables, constants, parameters, projections, arithmetic / comparison /
+   boolean operators, ``if``, ``let``, record construction — are emitted as
+   straight-line Python source with explicit NULL-propagation branches, then
+   ``compile()``d into one native function per term.  Evaluating such a term
+   is plain bytecode: no per-node calls at all.
+2. **Nested-closure composition** (the portable tier): node kinds outside
+   the source subset (lambdas, monoid operations) become one specialized
+   closure each, calling their children's closures directly, with the
+   operator and NULL checks resolved at compile time.  Source-tier code
+   reaches a closure-tier subtree through a single embedded call.
+
+Either tier degrades per node, never per term: a node kind neither tier
+knows (a residual :class:`~repro.calculus.terms.Comprehension`) compiles
+into a call into the reference interpreter for *that subtree* only.
+
+Three properties are load-bearing:
+
+* **Semantic equivalence.**  Every closure reproduces the interpreter's
+  behaviour exactly, including three-valued NULL logic (strict NULL
+  propagation through arithmetic and comparisons, short-circuiting
+  ``and``/``or`` that yield NULL only when the short-circuit value is not
+  reached, ``if`` taking the else-branch on a NULL condition), object
+  identity equality via :func:`~repro.data.values.identity_key`, and the
+  interpreter's error behaviour (same exception classes raised at
+  *evaluation* time, never eagerly at compile time).  The differential fuzz
+  oracle executes every query through both engines and fails on any
+  divergence (see ``repro.testing.oracle``).
+* **Per-node fallback.**  A node kind the compiler does not know (a future
+  extension term, a residual :class:`~repro.calculus.terms.Comprehension`
+  that survived unnesting) compiles into a closure that hands *that subtree*
+  to the interpreter; its siblings and ancestors stay compiled.  Compilation
+  therefore never fails — it degrades.
+* **Observability.**  :class:`CompiledExpr` counts compiled vs. fallback
+  nodes, so EXPLAIN ANALYZE can annotate each physical operator with
+  whether its expressions run ``compiled``, ``mixed``, or ``interpreted``.
+
+The compiler is wired into the engine through ``PlannerOptions.
+compiled_exprs`` (default on; ``--no-compile`` from the CLI) and cached per
+plan on :class:`~repro.core.pipeline.CompiledQuery`, so the plan cache
+amortizes codegen along with planning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.calculus.evaluator import (
+    EvaluationError,
+    Evaluator,
+    UnboundParameterError,
+)
+from repro.calculus.monoids import CollectionMonoid
+from repro.calculus.terms import (
+    Apply,
+    BinOp,
+    Const,
+    Extent,
+    If,
+    IsNull,
+    Lambda,
+    Let,
+    Merge,
+    Not,
+    Null,
+    Param,
+    Proj,
+    RecordCons,
+    Singleton,
+    Term,
+    Var,
+    Zero,
+)
+from repro.data.values import NULL, Record, identity_key
+
+Env = Mapping[str, Any]
+EvalFn = Callable[[dict], Any]
+
+#: Types whose ``==`` is plain value equality — the fast path that skips
+#: :func:`identity_key` (which returns scalars unchanged anyway).
+_SCALARS = frozenset((bool, int, float, str))
+
+
+class CompiledExpr:
+    """A term lowered to a closure, plus how much of it actually compiled.
+
+    ``fn(env)`` evaluates the term in *env* (a plain dict of variable
+    bindings).  ``compiled_nodes`` / ``fallback_nodes`` count the term's AST
+    nodes that were lowered natively vs. delegated to the interpreter;
+    ``mode`` summarizes them for EXPLAIN ANALYZE.
+    """
+
+    __slots__ = ("fn", "term", "compiled_nodes", "fallback_nodes")
+
+    def __init__(
+        self, fn: EvalFn, term: Term, compiled_nodes: int, fallback_nodes: int
+    ):
+        self.fn = fn
+        self.term = term
+        self.compiled_nodes = compiled_nodes
+        self.fallback_nodes = fallback_nodes
+
+    @property
+    def mode(self) -> str:
+        """``compiled`` | ``mixed`` | ``interpreted``."""
+        if self.fallback_nodes == 0:
+            return "compiled"
+        if self.compiled_nodes == 0:
+            return "interpreted"
+        return "mixed"
+
+    def __call__(self, env: dict) -> Any:
+        return self.fn(env)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledExpr({self.mode}, {self.compiled_nodes} compiled, "
+            f"{self.fallback_nodes} interpreted)"
+        )
+
+
+class _Counter:
+    """Mutable compile-time tally threaded through the recursive lowering."""
+
+    __slots__ = ("compiled", "fallback")
+
+    def __init__(self) -> None:
+        self.compiled = 0
+        self.fallback = 0
+
+
+class ExprRuntime:
+    """Per-execution bindings that compiled closures read at evaluation time.
+
+    Closures must be reusable across executions (they are cached on
+    :class:`~repro.core.pipeline.CompiledQuery`), so anything that varies per
+    execution — the prepared-statement parameter values, the database, the
+    fallback interpreter — is reached through this one mutable cell, rebound
+    by :meth:`ExprCompiler.activate` before each execution plans.
+    """
+
+    __slots__ = ("params", "database", "evaluator")
+
+    def __init__(self) -> None:
+        self.params: Mapping[str, Any] = {}
+        self.database: Any = None
+        self.evaluator: Evaluator | None = None
+
+
+def _memo_key(kind: str, term: Term) -> tuple:
+    """A memo key that never conflates equal-but-differently-typed constants.
+
+    Terms are frozen dataclasses, so structural equality is the natural memo
+    relation — except that Python compares ``bool``/``int``/``float`` across
+    types: ``Const(True) == Const(1) == Const(1.0)`` (with equal hashes).
+    Memoizing on the term alone would therefore serve the closure for
+    ``Const(1)`` to a ``Const(True)`` head (a fuzzer-found bug: a ``some``
+    accumulator then yields ``1``, which is not a boolean to a predicate).
+    Equal terms always have the same tree shape, so a traversal-ordered
+    tuple of the constant value *types* disambiguates fully.
+    """
+    const_types: list[type] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if type(node) is Const:
+            const_types.append(type(node.value))
+        stack.extend(node.children())
+    return (kind, term, tuple(const_types))
+
+
+class ExprCompiler:
+    """Lowers terms to closures; one instance per compiled query (or plan).
+
+    Compiled closures are memoized structurally (terms are frozen
+    dataclasses), so re-planning the same query — every execution replans,
+    and the planner reconstructs e.g. residual predicates afresh — reuses
+    the closures from the first execution instead of re-lowering.  The memo
+    key is :func:`_memo_key`, not the bare term (see there).
+    """
+
+    def __init__(self) -> None:
+        self.runtime = ExprRuntime()
+        self._memo: dict[tuple[str, Term], CompiledExpr] = {}
+
+    def activate(self, evaluator: Evaluator, database: Any) -> None:
+        """Point the runtime at one execution's interpreter and database."""
+        runtime = self.runtime
+        runtime.params = evaluator.params
+        runtime.database = database
+        runtime.evaluator = evaluator
+
+    # -- entry points -------------------------------------------------------
+
+    def compile(self, term: Term) -> CompiledExpr:
+        """Lower *term* to a value-producing function (source tier first)."""
+        key = _memo_key("expr", term)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        counter = _Counter()
+        try:
+            fn = _SourceEmitter(self, counter).function(term, predicate=False)
+        except Exception:  # noqa: BLE001 - degrade to the closure tier
+            counter = _Counter()
+            fn = self._compile(term, counter)
+        compiled = CompiledExpr(fn, term, counter.compiled, counter.fallback)
+        self._memo[key] = compiled
+        return compiled
+
+    def compile_predicate(self, term: Term) -> CompiledExpr:
+        """Lower *term* to a strict-boolean function (NULL counts as False).
+
+        The result's ``fn`` returns only ``True`` or ``False`` — exactly
+        ``_Context.holds``: a NULL predicate fails the filter, anything
+        non-boolean raises :class:`EvaluationError`.
+        """
+        key = _memo_key("pred", term)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        if isinstance(term, Const) and term.value is True:
+            # The planner's "no residual predicate" marker; skip the call.
+            compiled = CompiledExpr(_always_true, term, 1, 0)
+            self._memo[key] = compiled
+            return compiled
+        counter = _Counter()
+        try:
+            fn = _SourceEmitter(self, counter).function(term, predicate=True)
+        except Exception:  # noqa: BLE001 - degrade to the closure tier
+            counter = _Counter()
+            value = self._compile(term, counter)
+
+            def fn(env: dict) -> bool:
+                result = value(env)
+                if result is True:
+                    return True
+                if result is False or result is NULL:
+                    return False
+                raise EvaluationError(
+                    "predicate did not evaluate to a boolean"
+                )
+
+        compiled = CompiledExpr(fn, term, counter.compiled, counter.fallback)
+        self._memo[key] = compiled
+        return compiled
+
+    # -- recursive lowering -------------------------------------------------
+
+    def _compile(self, term: Term, counter: _Counter) -> EvalFn:
+        handler = _HANDLERS.get(type(term))
+        if handler is not None:
+            try:
+                fn = handler(self, term, counter)
+            except Exception:  # noqa: BLE001 - degrade, never fail to plan
+                return self._fallback(term, counter)
+            counter.compiled += 1
+            return fn
+        return self._fallback(term, counter)
+
+    def _fallback(self, term: Term, counter: _Counter) -> EvalFn:
+        """Hand this subtree to the interpreter (siblings stay compiled)."""
+        counter.fallback += 1
+        runtime = self.runtime
+
+        def run(env: dict) -> Any:
+            # _eval (not evaluate): skips the defensive env copy — the
+            # interpreter never mutates the environment it is handed.
+            return runtime.evaluator._eval(term, env)  # noqa: SLF001
+
+        return run
+
+    # -- node handlers ------------------------------------------------------
+
+    def _compile_var(self, term: Var, counter: _Counter) -> EvalFn:
+        name = term.name
+
+        def run(env: dict) -> Any:
+            try:
+                return env[name]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound variable {name!r}; in scope: {sorted(env)}"
+                ) from None
+
+        return run
+
+    def _compile_const(self, term: Const, counter: _Counter) -> EvalFn:
+        value = term.value
+        return lambda env: value
+
+    def _compile_null(self, term: Null, counter: _Counter) -> EvalFn:
+        return lambda env: NULL
+
+    def _compile_param(self, term: Param, counter: _Counter) -> EvalFn:
+        # Read through the runtime at evaluation time: the binding table
+        # changes per execution, and an unbound parameter must raise when
+        # evaluated, exactly like the interpreter.
+        runtime = self.runtime
+        name = term.name
+
+        def run(env: dict) -> Any:
+            try:
+                return runtime.params[name]
+            except KeyError:
+                raise UnboundParameterError(
+                    f"parameter :{name} has no bound value; bound: "
+                    f"{sorted(runtime.params)}"
+                ) from None
+
+        return run
+
+    def _compile_extent(self, term: Extent, counter: _Counter) -> EvalFn:
+        runtime = self.runtime
+        name = term.name
+        return lambda env: runtime.database.extent(name)
+
+    def _compile_record(self, term: RecordCons, counter: _Counter) -> EvalFn:
+        parts = tuple(
+            (name, self._compile(expr, counter)) for name, expr in term.fields
+        )
+
+        def run(env: dict) -> Any:
+            return Record({name: fn(env) for name, fn in parts})
+
+        return run
+
+    def _compile_proj(self, term: Proj, counter: _Counter) -> EvalFn:
+        base = self._compile(term.expr, counter)
+        attr = term.attr
+
+        def run(env: dict) -> Any:
+            value = base(env)
+            if isinstance(value, Record):
+                try:
+                    return value._fields[attr]  # noqa: SLF001 - hot path
+                except KeyError:
+                    raise KeyError(
+                        f"record has no attribute {attr!r}; attributes are "
+                        f"{sorted(value._fields)}"  # noqa: SLF001
+                    ) from None
+            if value is NULL:
+                return NULL
+            raise EvaluationError(
+                f"projection .{attr} applied to non-record "
+                f"{type(value).__name__}"
+            )
+
+        return run
+
+    def _compile_lambda(self, term: Lambda, counter: _Counter) -> EvalFn:
+        body = self._compile(term.body, counter)
+        param = term.param
+
+        def run(env: dict) -> Any:
+            captured = dict(env)
+
+            def closure(arg: Any) -> Any:
+                inner = dict(captured)
+                inner[param] = arg
+                return body(inner)
+
+            return closure
+
+        return run
+
+    def _compile_apply(self, term: Apply, counter: _Counter) -> EvalFn:
+        fn_c = self._compile(term.fn, counter)
+        arg_c = self._compile(term.arg, counter)
+
+        def run(env: dict) -> Any:
+            fn = fn_c(env)
+            if not callable(fn):
+                raise EvaluationError("application of a non-function value")
+            return fn(arg_c(env))
+
+        return run
+
+    def _compile_if(self, term: If, counter: _Counter) -> EvalFn:
+        cond = self._compile(term.cond, counter)
+        then = self._compile(term.then, counter)
+        orelse = self._compile(term.orelse, counter)
+
+        def run(env: dict) -> Any:
+            value = cond(env)
+            if value is True:
+                return then(env)
+            if value is False or value is NULL:
+                # NULL condition takes the else branch (interpreter policy).
+                return orelse(env)
+            raise EvaluationError("if condition is not a boolean")
+
+        return run
+
+    def _compile_let(self, term: Let, counter: _Counter) -> EvalFn:
+        value_c = self._compile(term.value, counter)
+        body = self._compile(term.body, counter)
+        name = term.var
+
+        def run(env: dict) -> Any:
+            inner = dict(env)
+            inner[name] = value_c(env)
+            return body(inner)
+
+        return run
+
+    def _compile_binop(self, term: BinOp, counter: _Counter) -> EvalFn:
+        left = self._compile(term.left, counter)
+        right = self._compile(term.right, counter)
+        return _BINOPS[term.op](left, right)
+
+    def _compile_not(self, term: Not, counter: _Counter) -> EvalFn:
+        value = self._compile(term.expr, counter)
+
+        def run(env: dict) -> Any:
+            result = value(env)
+            if result is True:
+                return False
+            if result is False:
+                return True
+            if result is NULL:
+                return NULL
+            raise EvaluationError("'not' applied to a non-boolean")
+
+        return run
+
+    def _compile_isnull(self, term: IsNull, counter: _Counter) -> EvalFn:
+        value = self._compile(term.expr, counter)
+        return lambda env: value(env) is NULL
+
+    def _compile_zero(self, term: Zero, counter: _Counter) -> EvalFn:
+        zero = term.monoid.zero
+        return lambda env: zero
+
+    def _compile_singleton(self, term: Singleton, counter: _Counter) -> EvalFn:
+        monoid = term.monoid
+        if not isinstance(monoid, CollectionMonoid):
+            # Ill-formed; raise at evaluation time like the interpreter.
+            name = monoid.name
+
+            def bad(env: dict) -> Any:
+                raise EvaluationError(f"singleton of primitive monoid {name}")
+
+            return bad
+        unit = monoid.unit
+        value = self._compile(term.expr, counter)
+        return lambda env: unit(value(env))
+
+    def _compile_merge(self, term: Merge, counter: _Counter) -> EvalFn:
+        merge = term.monoid.merge
+        left = self._compile(term.left, counter)
+        right = self._compile(term.right, counter)
+        return lambda env: merge(left(env), right(env))
+
+    # NOTE: Comprehension deliberately has no handler.  Residual
+    # comprehensions (queries compiled with unnesting partially off, nested
+    # heads the unnester leaves in place) fall back to the interpreter —
+    # loops are the algebra's job, and the fallback path stays exercised.
+
+
+def _always_true(env: dict) -> bool:
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Binary operators: one specialized closure-maker per operator, with the
+# interpreter's strict NULL propagation resolved at compile time.
+# ---------------------------------------------------------------------------
+
+
+def _make_and(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        if a is False:
+            return False
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a and b
+
+    return run
+
+
+def _make_or(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        if a is True:
+            return True
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a or b
+
+    return run
+
+
+def _make_add(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a + b
+
+    return run
+
+
+def _make_sub(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a - b
+
+    return run
+
+
+def _make_mul(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a * b
+
+    return run
+
+
+def _make_div(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        if b == 0:
+            raise EvaluationError("division by zero")
+        return a / b
+
+    return run
+
+
+def _make_eq(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        if a.__class__ in _SCALARS and b.__class__ in _SCALARS:
+            return a == b
+        return identity_key(a) == identity_key(b)
+
+    return run
+
+
+def _make_ne(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        if a.__class__ in _SCALARS and b.__class__ in _SCALARS:
+            return a != b
+        return identity_key(a) != identity_key(b)
+
+    return run
+
+
+def _make_lt(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a < b
+
+    return run
+
+
+def _make_le(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a <= b
+
+    return run
+
+
+def _make_gt(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a > b
+
+    return run
+
+
+def _make_ge(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        return a >= b
+
+    return run
+
+
+_BINOPS: dict[str, Callable[[EvalFn, EvalFn], EvalFn]] = {
+    "and": _make_and,
+    "or": _make_or,
+    "+": _make_add,
+    "-": _make_sub,
+    "*": _make_mul,
+    "/": _make_div,
+    "==": _make_eq,
+    "!=": _make_ne,
+    "<": _make_lt,
+    "<=": _make_le,
+    ">": _make_gt,
+    ">=": _make_ge,
+}
+
+# ---------------------------------------------------------------------------
+# Source tier: emit a term as straight-line Python and compile() it, so the
+# per-row cost is plain bytecode with no per-node calls.  NULL propagation
+# becomes explicit branches; error paths (unbound variable, bad projection)
+# reproduce the interpreter's exceptions through tiny out-of-line helpers.
+# Node kinds outside the source subset embed a single call to a closure-tier
+# (or interpreter-fallback) evaluation of that subtree.
+# ---------------------------------------------------------------------------
+
+
+def _var_miss(name: str, env: dict) -> None:
+    raise EvaluationError(
+        f"unbound variable {name!r}; in scope: {sorted(env)}"
+    )
+
+
+def _param_miss(name: str, params: Mapping[str, Any]) -> None:
+    raise UnboundParameterError(
+        f"parameter :{name} has no bound value; bound: {sorted(params)}"
+    )
+
+
+def _proj_slow(value: Any, attr: str) -> Any:
+    """The non-fast-path projection: NULL, Record subclass, or type error."""
+    if isinstance(value, Record):
+        return value[attr]  # formats the missing-attribute KeyError
+    if value is NULL:
+        return NULL
+    raise EvaluationError(
+        f"projection .{attr} applied to non-record {type(value).__name__}"
+    )
+
+
+def _pred_miss() -> None:
+    raise EvaluationError("predicate did not evaluate to a boolean")
+
+
+class _SourceEmitter:
+    """Emits one term as the body of a generated ``def _fn(env):``.
+
+    ``gen`` returns, per node, the *expression string* (a temporary name or
+    an inlined literal) holding the node's value, appending any statements
+    it needs at the current indentation depth.  Sub-expressions that the
+    source tier does not cover are bound into the function's namespace as
+    closure-tier evaluators and invoked with the current environment.
+    """
+
+    def __init__(self, compiler: ExprCompiler, counter: _Counter):
+        self.compiler = compiler
+        self.counter = counter
+        self.lines: list[str] = []
+        self.n = 0
+        # The function's globals.  ``rt`` is the compiler's ExprRuntime:
+        # activate() mutates it in place, so generated code reading
+        # ``rt.params`` / ``rt.database`` always sees the live execution.
+        self.ns: dict[str, Any] = {
+            "NULL": NULL,
+            "Record": Record,
+            "EvaluationError": EvaluationError,
+            "identity_key": identity_key,
+            "_SCALARS": _SCALARS,
+            "_var_miss": _var_miss,
+            "_param_miss": _param_miss,
+            "_proj_slow": _proj_slow,
+            "_pred_miss": _pred_miss,
+            "rt": compiler.runtime,
+        }
+
+    def function(self, term: Term, predicate: bool) -> EvalFn:
+        result = self.gen(term, "env", 1)
+        if predicate:
+            self.line(1, f"if {result} is True:")
+            self.line(2, "return True")
+            self.line(1, f"if {result} is False or {result} is NULL:")
+            self.line(2, "return False")
+            self.line(1, "_pred_miss()")
+        else:
+            self.line(1, f"return {result}")
+        source = "def _fn(env):\n" + "\n".join(self.lines) + "\n"
+        code = compile(source, "<repro.engine.compile>", "exec")
+        exec(code, self.ns)  # noqa: S102 - self-generated source only
+        return self.ns["_fn"]
+
+    # -- emission helpers ---------------------------------------------------
+
+    def line(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def temp(self) -> str:
+        self.n += 1
+        return f"t{self.n}"
+
+    def bind(self, prefix: str, value: Any) -> str:
+        self.n += 1
+        name = f"{prefix}{self.n}"
+        self.ns[name] = value
+        return name
+
+    def gen(self, term: Term, env: str, depth: int) -> str:
+        handler = _SRC_HANDLERS.get(type(term))
+        if handler is None:
+            # Outside the source subset: one call into the closure tier
+            # (which itself degrades per node to the interpreter).
+            sub = self.bind("s", self.compiler._compile(term, self.counter))
+            out = self.temp()
+            self.line(depth, f"{out} = {sub}({env})")
+            return out
+        result = handler(self, term, env, depth)
+        self.counter.compiled += 1
+        return result
+
+    # -- node emitters ------------------------------------------------------
+
+    def _gen_var(self, term: Var, env: str, depth: int) -> str:
+        out = self.temp()
+        self.line(depth, "try:")
+        self.line(depth + 1, f"{out} = {env}[{term.name!r}]")
+        self.line(depth, "except KeyError:")
+        self.line(depth + 1, f"_var_miss({term.name!r}, {env})")
+        return out
+
+    def _gen_const(self, term: Const, env: str, depth: int) -> str:
+        # Bound as a namespace global, not inlined by repr: operands must be
+        # names so that generated `x.__class__` / `x is NULL` stays valid
+        # (a literal there is a syntax error / SyntaxWarning).
+        return self.bind("c", term.value)
+
+    def _gen_null(self, term: Null, env: str, depth: int) -> str:
+        return "NULL"
+
+    def _gen_param(self, term: Param, env: str, depth: int) -> str:
+        out = self.temp()
+        self.line(depth, "try:")
+        self.line(depth + 1, f"{out} = rt.params[{term.name!r}]")
+        self.line(depth, "except KeyError:")
+        self.line(depth + 1, f"_param_miss({term.name!r}, rt.params)")
+        return out
+
+    def _gen_extent(self, term: Extent, env: str, depth: int) -> str:
+        out = self.temp()
+        self.line(depth, f"{out} = rt.database.extent({term.name!r})")
+        return out
+
+    def _gen_record(self, term: RecordCons, env: str, depth: int) -> str:
+        parts = [
+            (name, self.gen(expr, env, depth)) for name, expr in term.fields
+        ]
+        inner = ", ".join(f"{name!r}: {value}" for name, value in parts)
+        out = self.temp()
+        self.line(depth, f"{out} = Record({{{inner}}})")
+        return out
+
+    def _gen_proj(self, term: Proj, env: str, depth: int) -> str:
+        base = self.gen(term.expr, env, depth)
+        out = self.temp()
+        self.line(depth, f"if {base}.__class__ is Record:")
+        self.line(depth + 1, "try:")
+        self.line(depth + 2, f"{out} = {base}._fields[{term.attr!r}]")
+        self.line(depth + 1, "except KeyError:")
+        self.line(depth + 2, f"_proj_slow({base}, {term.attr!r})")
+        self.line(depth, "else:")
+        self.line(depth + 1, f"{out} = _proj_slow({base}, {term.attr!r})")
+        return out
+
+    def _gen_if(self, term: If, env: str, depth: int) -> str:
+        cond = self.gen(term.cond, env, depth)
+        out = self.temp()
+        self.line(depth, f"if {cond} is True:")
+        then = self.gen(term.then, env, depth + 1)
+        self.line(depth + 1, f"{out} = {then}")
+        self.line(depth, f"elif {cond} is False or {cond} is NULL:")
+        orelse = self.gen(term.orelse, env, depth + 1)
+        self.line(depth + 1, f"{out} = {orelse}")
+        self.line(depth, "else:")
+        self.line(
+            depth + 1, "raise EvaluationError('if condition is not a boolean')"
+        )
+        return out
+
+    def _gen_let(self, term: Let, env: str, depth: int) -> str:
+        value = self.gen(term.value, env, depth)
+        self.n += 1
+        inner = f"e{self.n}"
+        self.line(depth, f"{inner} = dict({env})")
+        self.line(depth, f"{inner}[{term.var!r}] = {value}")
+        return self.gen(term.body, inner, depth)
+
+    def _gen_not(self, term: Not, env: str, depth: int) -> str:
+        value = self.gen(term.expr, env, depth)
+        out = self.temp()
+        self.line(depth, f"if {value} is True:")
+        self.line(depth + 1, f"{out} = False")
+        self.line(depth, f"elif {value} is False:")
+        self.line(depth + 1, f"{out} = True")
+        self.line(depth, f"elif {value} is NULL:")
+        self.line(depth + 1, f"{out} = NULL")
+        self.line(depth, "else:")
+        self.line(
+            depth + 1,
+            "raise EvaluationError(\"'not' applied to a non-boolean\")",
+        )
+        return out
+
+    def _gen_isnull(self, term: IsNull, env: str, depth: int) -> str:
+        value = self.gen(term.expr, env, depth)
+        out = self.temp()
+        self.line(depth, f"{out} = {value} is NULL")
+        return out
+
+    def _gen_binop(self, term: BinOp, env: str, depth: int) -> str:
+        op = term.op
+        if op in ("and", "or"):
+            return self._gen_shortcircuit(term, env, depth)
+        if op not in _SRC_BINOPS:
+            raise NotImplementedError(op)
+        left = self.gen(term.left, env, depth)
+        right = self.gen(term.right, env, depth)
+        out = self.temp()
+        self.line(depth, f"if {left} is NULL or {right} is NULL:")
+        self.line(depth + 1, f"{out} = NULL")
+        if op in ("==", "!="):
+            self.line(
+                depth,
+                f"elif {left}.__class__ in _SCALARS "
+                f"and {right}.__class__ in _SCALARS:",
+            )
+            self.line(depth + 1, f"{out} = {left} {op} {right}")
+            self.line(depth, "else:")
+            self.line(
+                depth + 1,
+                f"{out} = identity_key({left}) {op} identity_key({right})",
+            )
+            return out
+        self.line(depth, "else:")
+        if op == "/":
+            self.line(depth + 1, f"if {right} == 0:")
+            self.line(
+                depth + 2, "raise EvaluationError('division by zero')"
+            )
+        self.line(depth + 1, f"{out} = {left} {op} {right}")
+        return out
+
+    def _gen_shortcircuit(self, term: BinOp, env: str, depth: int) -> str:
+        shortcut = "False" if term.op == "and" else "True"
+        left = self.gen(term.left, env, depth)
+        out = self.temp()
+        self.line(depth, f"if {left} is {shortcut}:")
+        self.line(depth + 1, f"{out} = {shortcut}")
+        self.line(depth, "else:")
+        right = self.gen(term.right, env, depth + 1)
+        self.line(depth + 1, f"if {left} is NULL or {right} is NULL:")
+        self.line(depth + 2, f"{out} = NULL")
+        self.line(depth + 1, "else:")
+        self.line(depth + 2, f"{out} = {left} {term.op} {right}")
+        return out
+
+
+#: BinOp operators the source tier emits inline (and/or are special-cased).
+_SRC_BINOPS = frozenset(
+    ("+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">=")
+)
+
+_SRC_HANDLERS: dict[type, Callable[..., str]] = {
+    Var: _SourceEmitter._gen_var,
+    Const: _SourceEmitter._gen_const,
+    Null: _SourceEmitter._gen_null,
+    Param: _SourceEmitter._gen_param,
+    Extent: _SourceEmitter._gen_extent,
+    RecordCons: _SourceEmitter._gen_record,
+    Proj: _SourceEmitter._gen_proj,
+    If: _SourceEmitter._gen_if,
+    Let: _SourceEmitter._gen_let,
+    Not: _SourceEmitter._gen_not,
+    IsNull: _SourceEmitter._gen_isnull,
+    BinOp: _SourceEmitter._gen_binop,
+}
+
+_HANDLERS: dict[type, Callable[[ExprCompiler, Any, _Counter], EvalFn]] = {
+    Var: ExprCompiler._compile_var,
+    Const: ExprCompiler._compile_const,
+    Null: ExprCompiler._compile_null,
+    Param: ExprCompiler._compile_param,
+    Extent: ExprCompiler._compile_extent,
+    RecordCons: ExprCompiler._compile_record,
+    Proj: ExprCompiler._compile_proj,
+    Lambda: ExprCompiler._compile_lambda,
+    Apply: ExprCompiler._compile_apply,
+    If: ExprCompiler._compile_if,
+    Let: ExprCompiler._compile_let,
+    BinOp: ExprCompiler._compile_binop,
+    Not: ExprCompiler._compile_not,
+    IsNull: ExprCompiler._compile_isnull,
+    Zero: ExprCompiler._compile_zero,
+    Singleton: ExprCompiler._compile_singleton,
+    Merge: ExprCompiler._compile_merge,
+}

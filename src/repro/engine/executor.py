@@ -14,17 +14,26 @@ from typing import Any, Mapping
 
 from repro.algebra.operators import Operator
 from repro.calculus.evaluator import ExtentProvider
+from repro.engine.compile import ExprCompiler
 from repro.engine.planner import PlannerOptions, plan_physical
 from repro.engine.physical import PEval, PReduce, PhysicalOperator
 
 
 @dataclass
 class OperatorStats:
-    """Row production of one physical operator."""
+    """Row production of one physical operator.
+
+    ``eval_mode`` records how the operator's expressions executed
+    ("compiled", "mixed", "interpreted", or "" for expression-free
+    operators); ``eval_ms`` is the wall time spent inside those expression
+    evaluators when profiling was enabled.
+    """
 
     operator: str
     rows_produced: int
     depth: int
+    eval_mode: str = ""
+    eval_ms: float = 0.0
 
 
 @dataclass
@@ -59,7 +68,10 @@ class ExecutionStats:
                 f" {self.cache_misses} misses)"
             )
         for op in self.operators:
-            lines.append(f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}]")
+            line = f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}"
+            if op.eval_mode:
+                line += f", exprs={op.eval_mode}, eval={op.eval_ms:.3f} ms"
+            lines.append(line + "]")
         return "\n".join(lines)
 
 
@@ -68,9 +80,19 @@ def run_with_stats(
     database: ExtentProvider,
     options: PlannerOptions | None = None,
     params: Mapping[str, Any] | None = None,
+    profile: bool = True,
+    compiler: "ExprCompiler | None" = None,
 ) -> ExecutionStats:
-    """Plan, execute, and collect per-operator statistics."""
-    physical = plan_physical(plan, database, options, params)
+    """Plan, execute, and collect per-operator statistics.
+
+    *profile* (default on — this is the EXPLAIN ANALYZE entry point) makes
+    every operator time its expression evaluation, at the cost of a timer
+    call per evaluated expression.  *compiler* reuses a caller-owned
+    expression compiler (see :func:`repro.engine.planner.plan_physical`).
+    """
+    physical = plan_physical(
+        plan, database, options, params, profile=profile, compiler=compiler
+    )
     if not isinstance(physical, (PReduce, PEval)):
         raise TypeError("a complete plan must be rooted at Reduce or Eval")
     start = time.perf_counter()
@@ -83,7 +105,9 @@ def run_with_stats(
 
 def _collect(op: PhysicalOperator, depth: int, stats: ExecutionStats) -> None:
     stats.operators.append(
-        OperatorStats(op.describe(), op.rows_produced, depth)
+        OperatorStats(
+            op.describe(), op.rows_produced, depth, op.eval_mode(), op.eval_ms
+        )
     )
     for child in op.children():
         _collect(child, depth + 1, stats)

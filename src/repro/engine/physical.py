@@ -14,10 +14,22 @@ algorithms:
 Each operator exposes ``rows()`` (an iterator of environments) and counts
 the tuples it produces, so executions can be compared by work performed as
 well as by wall-clock time.
+
+Expression evaluation is pluggable: by default every select predicate, map
+head, join key, unnest path, and reduce accumulator is **compiled** to a
+native Python closure (:mod:`repro.engine.compile`) when the operator is
+built, so the per-row cost is a cascade of direct calls instead of an AST
+walk.  With ``compiled_exprs=False`` the operators evaluate the same terms
+through the calculus interpreter — the historical behaviour, kept as the
+differential baseline.  Blocking operators (hash join build side, sort-merge
+right side, nested-loop inner, hash-nest grouping) memoize their build work
+on the first ``rows()`` entry, so re-entering a restartable stream does not
+redo it.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterator, Mapping
 
 from repro.calculus.evaluator import EvaluationError, Evaluator as TermEvaluator, ExtentProvider
@@ -30,6 +42,7 @@ from repro.data.values import (
     identity_sort_key,
     is_null,
 )
+from repro.engine.compile import CompiledExpr, ExprCompiler
 
 Env = dict[str, Any]
 
@@ -39,6 +52,11 @@ class PhysicalOperator:
 
     def __init__(self) -> None:
         self.rows_produced = 0
+        #: Wall time spent evaluating this operator's expressions, in ms.
+        #: Only accumulated when the execution context profiles evaluation
+        #: (EXPLAIN ANALYZE); stays 0.0 otherwise.
+        self.eval_ms = 0.0
+        self._exprs: list[CompiledExpr] = []
 
     def rows(self) -> Iterator[Env]:
         raise NotImplementedError
@@ -63,19 +81,74 @@ class PhysicalOperator:
         """Rows produced by this operator and everything below it."""
         return self.rows_produced + sum(c.total_rows() for c in self.children())
 
+    # -- expression binding --------------------------------------------------
+
+    def eval_mode(self) -> str:
+        """How this operator's expressions execute.
+
+        ``"compiled"`` — every AST node lowered to a native closure;
+        ``"mixed"`` — some subtrees fell back to the interpreter;
+        ``"interpreted"`` — everything runs through the interpreter
+        (``compiled_exprs=False``); ``""`` — the operator evaluates no
+        expressions (scans, seeds).
+        """
+        if not self._exprs:
+            return ""
+        compiled = sum(e.compiled_nodes for e in self._exprs)
+        fallback = sum(e.fallback_nodes for e in self._exprs)
+        if fallback == 0:
+            return "compiled"
+        if compiled == 0:
+            return "interpreted"
+        return "mixed"
+
+    def _bind(self, context: "_Context", compiled: CompiledExpr):
+        """Register a compiled expression; wrap it with a timer when the
+        context profiles evaluation (EXPLAIN ANALYZE)."""
+        self._exprs.append(compiled)
+        fn = compiled.fn
+        if not context.profile:
+            return fn
+        perf_counter = time.perf_counter
+
+        def timed(env: Env) -> Any:
+            start = perf_counter()
+            try:
+                return fn(env)
+            finally:
+                self.eval_ms += (perf_counter() - start) * 1000.0
+
+        return timed
+
+    def _expr(self, context: "_Context", term: Term):
+        return self._bind(context, context.expr(term))
+
+    def _pred(self, context: "_Context", term: Term):
+        return self._bind(context, context.pred(term))
+
 
 class _Context:
-    """Shared per-execution state: the database, a term evaluator, and the
-    bound prepared-statement parameters (``:name`` placeholder values)."""
+    """Shared per-execution state: the database, a term evaluator, the bound
+    prepared-statement parameters (``:name`` placeholder values), and the
+    expression compiler (or None when running interpreted)."""
 
     def __init__(
         self,
         database: ExtentProvider,
         params: Mapping[str, Any] | None = None,
+        compiled_exprs: bool = True,
+        profile: bool = False,
+        compiler: ExprCompiler | None = None,
     ):
         self.database = database
         self.params = dict(params) if params else {}
+        self.profile = profile
         self._terms = TermEvaluator(database, self.params)
+        if compiled_exprs:
+            self._compiler = compiler if compiler is not None else ExprCompiler()
+            self._compiler.activate(self._terms, database)
+        else:
+            self._compiler = None
 
     def value(self, term: Term, env: Env) -> Any:
         return self._terms.evaluate(term, env)
@@ -88,6 +161,33 @@ class _Context:
             return False
         raise EvaluationError("predicate did not evaluate to a boolean")
 
+    def expr(self, term: Term) -> CompiledExpr:
+        """A value-producing evaluator for *term* (compiled when enabled)."""
+        if self._compiler is not None:
+            return self._compiler.compile(term)
+        evaluate = self._terms.evaluate
+
+        def run(env: Env) -> Any:
+            return evaluate(term, env)
+
+        return CompiledExpr(run, term, 0, 1)
+
+    def pred(self, term: Term) -> CompiledExpr:
+        """A strict-boolean evaluator for *term*: NULL filters as False."""
+        if self._compiler is not None:
+            return self._compiler.compile_predicate(term)
+        evaluate = self._terms.evaluate
+
+        def run(env: Env) -> bool:
+            result = evaluate(term, env)
+            if result is True:
+                return True
+            if result is False or is_null(result):
+                return False
+            raise EvaluationError("predicate did not evaluate to a boolean")
+
+        return CompiledExpr(run, term, 0, 1)
+
 
 class PScan(PhysicalOperator):
     """Sequential scan of a class extent."""
@@ -99,9 +199,10 @@ class PScan(PhysicalOperator):
         self.var = var
 
     def rows(self) -> Iterator[Env]:
+        var = self.var
         for obj in self._context.database.extent(self.extent):
             self.rows_produced += 1
-            yield {self.var: obj}
+            yield {var: obj}
 
     def describe(self) -> str:
         return f"Scan({self.var} <- {self.extent})"
@@ -124,18 +225,20 @@ class PIndexScan(PhysicalOperator):
         self.var = var
         self.attr = attr
         self.key = key
+        self._key = self._expr(context, key)
 
     def rows(self) -> Iterator[Env]:
-        value = self._context.value(self.key, {})
+        value = self._key({})
         if is_null(value):
             # attr = NULL is NULL, which a filter treats as false — but the
             # index stores NULL-attributed objects under the NULL key, so a
             # raw lookup would wrongly return them.
             return
         database = self._context.database
+        var = self.var
         for obj in database.index_lookup(self.extent, self.attr, value):
             self.rows_produced += 1
-            yield {self.var: obj}
+            yield {var: obj}
 
     def describe(self) -> str:
         return f"IndexScan({self.var} <- {self.extent} on {self.attr} = {self.key})"
@@ -157,13 +260,15 @@ class PSelect(PhysicalOperator):
         self._context = context
         self.child = child
         self.pred = pred
+        self._holds = self._pred(context, pred)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def rows(self) -> Iterator[Env]:
+        holds = self._holds
         for env in self.child.rows():
-            if self._context.holds(self.pred, env):
+            if holds(env):
                 self.rows_produced += 1
                 yield env
 
@@ -184,15 +289,19 @@ class PMap(PhysicalOperator):
         self._context = context
         self.child = child
         self.bindings = bindings
+        self._compiled_bindings = tuple(
+            (name, self._expr(context, expr)) for name, expr in bindings
+        )
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def rows(self) -> Iterator[Env]:
+        bindings = self._compiled_bindings
         for env in self.child.rows():
             extended = dict(env)
-            for name, expr in self.bindings:
-                extended[name] = self._context.value(expr, extended)
+            for name, fn in bindings:
+                extended[name] = fn(extended)
             self.rows_produced += 1
             yield extended
 
@@ -202,7 +311,12 @@ class PMap(PhysicalOperator):
 
 
 class PNestedLoopJoin(PhysicalOperator):
-    """Block nested-loop (outer-)join: the fallback join algorithm."""
+    """Block nested-loop (outer-)join: the fallback join algorithm.
+
+    The inner (right) input is materialized once per execution — not once
+    per ``rows()`` entry — so a re-entered stream does not re-run the
+    build side.
+    """
 
     def __init__(
         self,
@@ -220,18 +334,23 @@ class PNestedLoopJoin(PhysicalOperator):
         self.pred = pred
         self.right_columns = right_columns
         self.outer = outer
+        self._holds = self._pred(context, pred)
+        self._right_rows: list[Env] | None = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def rows(self) -> Iterator[Env]:
-        right_rows = list(self.right.rows())
+        if self._right_rows is None:
+            self._right_rows = list(self.right.rows())
+        right_rows = self._right_rows
+        holds = self._holds
         padding = {col: NULL for col in self.right_columns}
         for left_env in self.left.rows():
             matched = False
             for right_env in right_rows:
                 env = {**left_env, **right_env}
-                if self._context.holds(self.pred, env):
+                if holds(env):
                     matched = True
                     self.rows_produced += 1
                     yield env
@@ -245,7 +364,13 @@ class PNestedLoopJoin(PhysicalOperator):
 
 
 class PHashJoin(PhysicalOperator):
-    """Hash (outer-)join on extracted equi-keys, with a residual predicate."""
+    """Hash (outer-)join on extracted equi-keys, with a residual predicate.
+
+    The build-side hash table is constructed on the first ``rows()`` entry
+    and reused by re-entries (e.g. when this join is the inner of a nested
+    loop), so the build input's rows are produced exactly once per
+    execution.
+    """
 
     def __init__(
         self,
@@ -267,31 +392,56 @@ class PHashJoin(PhysicalOperator):
         self.residual = residual
         self.right_columns = right_columns
         self.outer = outer
+        self._left_key_fns = tuple(self._expr(context, k) for k in left_keys)
+        self._right_key_fns = tuple(self._expr(context, k) for k in right_keys)
+        self._holds = self._pred(context, residual)
+        self._table: dict[tuple[Any, ...], list[Env]] | None = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[Env]:
+    def _build_table(self) -> dict[Any, list[Env]]:
         # Keys are wrapped with identity_key so that `=` on stored objects
         # matches hash-probe semantics to apply_binop's identity equality.
-        table: dict[tuple[Any, ...], list[Env]] = {}
+        # Single-key joins (the common case) use the bare key — no tuple
+        # allocation per row; probes below agree on the representation.
+        table: dict[Any, list[Env]] = {}
+        key_fns = self._right_key_fns
+        if len(key_fns) == 1:
+            (key_fn,) = key_fns
+            for right_env in self.right.rows():
+                key = identity_key(key_fn(right_env))
+                table.setdefault(key, []).append(right_env)
+            return table
         for right_env in self.right.rows():
-            key = tuple(
-                identity_key(self._context.value(k, right_env))
-                for k in self.right_keys
-            )
+            key = tuple(identity_key(fn(right_env)) for fn in key_fns)
             table.setdefault(key, []).append(right_env)
+        return table
+
+    def rows(self) -> Iterator[Env]:
+        if self._table is None:
+            self._table = self._build_table()
+        table = self._table
+        key_fns = self._left_key_fns
+        holds = self._holds
         padding = {col: NULL for col in self.right_columns}
+        single = len(key_fns) == 1
+        if single:
+            (key_fn,) = key_fns
         for left_env in self.left.rows():
-            values = tuple(
-                self._context.value(k, left_env) for k in self.left_keys
-            )
-            key = tuple(identity_key(v) for v in values)
+            if single:
+                value = key_fn(left_env)
+                null_key = value is NULL
+                key = identity_key(value)
+            else:
+                values = tuple(fn(left_env) for fn in key_fns)
+                null_key = any(part is NULL for part in values)
+                key = tuple(identity_key(v) for v in values)
             matched = False
-            if not any(is_null(part) for part in values):
+            if not null_key:
                 for right_env in table.get(key, ()):
                     env = {**left_env, **right_env}
-                    if self._context.holds(self.residual, env):
+                    if holds(env):
                         matched = True
                         self.rows_produced += 1
                         yield env
@@ -319,7 +469,8 @@ class PMergeJoin(PhysicalOperator):
     TypeError.  Duplicate key runs produce the cross product of the runs;
     within a run the *raw* identity keys are re-checked, since the sort
     wrapper's order is coarser than key equality.  The planner only selects
-    this algorithm when asked to (``PlannerOptions.merge_joins``).
+    this algorithm when asked to (``PlannerOptions.merge_joins``).  The
+    sorted right side is built once per execution and reused on re-entry.
     """
 
     def __init__(
@@ -342,31 +493,41 @@ class PMergeJoin(PhysicalOperator):
         self.residual = residual
         self.right_columns = right_columns
         self.outer = outer
+        self._left_key_fn = self._expr(context, left_key)
+        self._right_key_fn = self._expr(context, right_key)
+        self._holds = self._pred(context, residual)
+        self._right_rows: list[tuple] | None = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
-    def rows(self) -> Iterator[Env]:
+    def _keyed(self, source: PhysicalOperator, key_fn) -> Iterator[tuple]:
         # (sort wrapper, identity key, env) per row; NULL keys are filtered
         # symmetrically — a NULL key never equi-joins on either side.
-        def keyed(source: PhysicalOperator, key_term: Term) -> Iterator[tuple]:
-            for env in source.rows():
-                value = self._context.value(key_term, env)
-                if is_null(value):
-                    yield None, None, env
-                else:
-                    key = identity_key(value)
-                    yield identity_sort_key(key), key, env
+        for env in source.rows():
+            value = key_fn(env)
+            if is_null(value):
+                yield None, None, env
+            else:
+                key = identity_key(value)
+                yield identity_sort_key(key), key, env
 
-        left_rows = list(keyed(self.left, self.left_key))
-        right_rows = [
-            row for row in keyed(self.right, self.right_key) if row[0] is not None
-        ]
-        right_rows.sort(key=lambda row: row[0])
+    def rows(self) -> Iterator[Env]:
+        if self._right_rows is None:
+            right_rows = [
+                row
+                for row in self._keyed(self.right, self._right_key_fn)
+                if row[0] is not None
+            ]
+            right_rows.sort(key=lambda row: row[0])
+            self._right_rows = right_rows
+        right_rows = self._right_rows
+        left_rows = list(self._keyed(self.left, self._left_key_fn))
         nullish = [env for wrapper, _, env in left_rows if wrapper is None]
         sortable = [row for row in left_rows if row[0] is not None]
         sortable.sort(key=lambda row: row[0])
         padding = {col: NULL for col in self.right_columns}
+        holds = self._holds
 
         index = 0
         for wrapper, key, left_env in sortable:
@@ -379,7 +540,7 @@ class PMergeJoin(PhysicalOperator):
                 # the raw identity keys before pairing.
                 if right_rows[probe][1] == key:
                     env = {**left_env, **right_rows[probe][2]}
-                    if self._context.holds(self.residual, env):
+                    if holds(env):
                         matched = True
                         self.rows_produced += 1
                         yield env
@@ -416,13 +577,18 @@ class PUnnest(PhysicalOperator):
         self.var = var
         self.pred = pred
         self.outer = outer
+        self._path_fn = self._expr(context, path)
+        self._holds = self._pred(context, pred)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def rows(self) -> Iterator[Env]:
+        path_fn = self._path_fn
+        holds = self._holds
+        var = self.var
         for env in self.child.rows():
-            value = self._context.value(self.path, env)
+            value = path_fn(env)
             matched = False
             if not is_null(value):
                 if not isinstance(value, CollectionValue):
@@ -430,14 +596,14 @@ class PUnnest(PhysicalOperator):
                         f"unnest path evaluated to {type(value).__name__}"
                     )
                 for element in value.elements():
-                    extended = {**env, self.var: element}
-                    if self._context.holds(self.pred, extended):
+                    extended = {**env, var: element}
+                    if holds(extended):
                         matched = True
                         self.rows_produced += 1
                         yield extended
             if self.outer and not matched:
                 self.rows_produced += 1
-                yield {**env, self.var: NULL}
+                yield {**env, var: NULL}
 
     def describe(self) -> str:
         kind = "OuterUnnest" if self.outer else "Unnest"
@@ -445,7 +611,12 @@ class PUnnest(PhysicalOperator):
 
 
 class PHashNest(PhysicalOperator):
-    """Hash-based grouping implementation of the nest operator."""
+    """Hash-based grouping implementation of the nest operator.
+
+    Grouping is a blocking operation: the child stream is consumed and the
+    groups accumulated on the first ``rows()`` entry, then replayed by any
+    re-entry without re-running the child.
+    """
 
     def __init__(
         self,
@@ -467,37 +638,62 @@ class PHashNest(PhysicalOperator):
         self.null_vars = null_vars
         self.out_var = out_var
         self.pred = pred
+        self._head_fn = self._expr(context, head)
+        self._holds = self._pred(context, pred)
+        self._group_rows: list[tuple[Env, Any]] | None = None
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def rows(self) -> Iterator[Env]:
+    def _build_groups(self) -> list[tuple[Env, Any]]:
         monoid = self.monoid
+        merge = monoid.merge
+        head_fn = self._head_fn
+        holds = self._holds
+        group_by = self.group_by
+        null_vars = self.null_vars
         groups: dict[tuple[Any, ...], Any] = {}
         order: list[tuple[Any, ...]] = []
         group_envs: dict[tuple[Any, ...], Env] = {}
+        collection = isinstance(monoid, CollectionMonoid)
+        lift = monoid.lift
+        single = group_by[0] if len(group_by) == 1 else None
         for env in self.child.rows():
             # Identity-aware grouping: distinct stored objects with equal
             # state must form distinct groups (see algebra evaluator _nest).
-            key = tuple(identity_key(env[col]) for col in self.group_by)
+            if single is not None:
+                key = identity_key(env[single])
+            else:
+                key = tuple(identity_key(env[col]) for col in group_by)
             if key not in groups:
-                groups[key] = monoid.zero
+                # Collection groups accumulate into a plain list and build
+                # the collection once at the end (per-row immutable merges
+                # would copy the accumulator every row).
+                groups[key] = [] if collection else monoid.zero
                 order.append(key)
-                group_envs[key] = {col: env[col] for col in self.group_by}
-            if any(is_null(env[col]) for col in self.null_vars):
+                group_envs[key] = {col: env[col] for col in group_by}
+            if null_vars and any(env[col] is NULL for col in null_vars):
                 continue
-            if not self._context.holds(self.pred, env):
+            if not holds(env):
                 continue
-            value = self._context.value(self.head, env)
-            if isinstance(monoid, CollectionMonoid):
-                groups[key] = monoid.merge(groups[key], monoid.unit(value))
-            elif not is_null(value):
-                groups[key] = monoid.merge(groups[key], monoid.lift(value))
-        collection = isinstance(monoid, CollectionMonoid)
-        for key in order:
-            result = groups[key] if collection else monoid.finalize(groups[key])
+            value = head_fn(env)
+            if collection:
+                groups[key].append(value)
+            elif value is not NULL:
+                groups[key] = merge(groups[key], lift(value))
+        if collection:
+            fold = monoid.fold_elements
+            return [(group_envs[key], fold(groups[key])) for key in order]
+        finalize = monoid.finalize
+        return [(group_envs[key], finalize(groups[key])) for key in order]
+
+    def rows(self) -> Iterator[Env]:
+        if self._group_rows is None:
+            self._group_rows = self._build_groups()
+        out_var = self.out_var
+        for group_env, result in self._group_rows:
             self.rows_produced += 1
-            yield {**group_envs[key], self.out_var: result}
+            yield {**group_env, out_var: result}
 
     def describe(self) -> str:
         group = ",".join(self.group_by) or "()"
@@ -521,6 +717,8 @@ class PReduce(PhysicalOperator):
         self.monoid = monoid
         self.head = head
         self.pred = pred
+        self._head_fn = self._expr(context, head)
+        self._holds = self._pred(context, pred)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -530,23 +728,32 @@ class PReduce(PhysicalOperator):
 
     def value(self) -> Any:
         monoid = self.monoid
+        merge = monoid.merge
+        head_fn = self._head_fn
+        holds = self._holds
+        if isinstance(monoid, CollectionMonoid):
+            # One-pass bulk construction instead of per-row immutable
+            # merges (which copy the whole accumulator every row).
+            result = monoid.fold_elements(
+                head_fn(env) for env in self.child.rows() if holds(env)
+            )
+            return self._account(result)
         result = monoid.zero
-        collection = isinstance(monoid, CollectionMonoid)
+        lift = monoid.lift
+        is_all = monoid.name == "all"
+        is_some = monoid.name == "some"
         for env in self.child.rows():
-            if not self._context.holds(self.pred, env):
+            if not holds(env):
                 continue
-            head = self._context.value(self.head, env)
-            if collection:
-                result = monoid.merge(result, monoid.unit(head))
+            head = head_fn(env)
+            if head is NULL:
                 continue
-            if is_null(head):
-                continue
-            result = monoid.merge(result, monoid.lift(head))
-            if monoid.name == "all" and result is False:
+            result = merge(result, lift(head))
+            if is_all and result is False:
                 return self._account(False)
-            if monoid.name == "some" and result is True:
+            if is_some and result is True:
                 return self._account(True)
-        return self._account(result if collection else monoid.finalize(result))
+        return self._account(monoid.finalize(result))
 
     def _account(self, result: Any) -> Any:
         # EXPLAIN ANALYZE accounting: the root "produces" the result — one
@@ -568,6 +775,7 @@ class PEval(PhysicalOperator):
         self._context = context
         self.child = child
         self.expr = expr
+        self._expr_fn = self._expr(context, expr)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -581,7 +789,7 @@ class PEval(PhysicalOperator):
             raise EvaluationError(
                 f"Eval root expected exactly one row, got {len(envs)}"
             )
-        result = self._context.value(self.expr, envs[0])
+        result = self._expr_fn(envs[0])
         self.rows_produced = (
             len(result) if isinstance(result, CollectionValue) else 1
         )

@@ -39,6 +39,7 @@ from repro.algebra.operators import (
 )
 from repro.calculus.evaluator import ExtentProvider
 from repro.calculus.terms import BinOp, Proj, Term, Var, conj, conjuncts, free_vars
+from repro.engine.compile import ExprCompiler
 from repro.engine.physical import (
     PEval,
     PHashJoin,
@@ -65,6 +66,9 @@ class PlannerOptions:
     #: Prefer sort-merge over hash for single-key equi-joins.  Keys must be
     #: totally ordered values (numbers or strings).
     merge_joins: bool = False
+    #: Lower expression trees to native Python closures (repro.engine.compile)
+    #: instead of interpreting the AST per row.
+    compiled_exprs: bool = True
 
 
 def plan_physical(
@@ -72,14 +76,26 @@ def plan_physical(
     database: ExtentProvider,
     options: PlannerOptions | None = None,
     params: Mapping[str, Any] | None = None,
+    profile: bool = False,
+    compiler: "ExprCompiler | None" = None,
 ) -> PhysicalOperator:
     """Translate a logical plan into a physical plan bound to *database*.
 
     *params* supplies values for any :class:`~repro.calculus.terms.Param`
     placeholders in the plan's expressions (prepared-statement execution).
+    *profile* makes operators time their expression evaluation (EXPLAIN
+    ANALYZE).  *compiler* reuses a caller-owned :class:`ExprCompiler` so its
+    memoized closures survive across executions (the plan cache passes the
+    one stored on ``CompiledQuery``).
     """
-    context = _Context(database, params)
     options = options or PlannerOptions()
+    context = _Context(
+        database,
+        params,
+        compiled_exprs=options.compiled_exprs,
+        profile=profile,
+        compiler=compiler,
+    )
     return _build(plan, context, options)
 
 

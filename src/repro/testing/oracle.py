@@ -10,6 +10,9 @@ that: it runs a query through *every* path the repo can execute —
 * ``algebra-logical`` — the unnested operator tree evaluated by the naive
   logical interpreter (no physical planning);
 * ``pipeline-default`` — the full pipeline with default options;
+* ``pipeline-interpreted-exprs`` — expression compilation disabled, so every
+  per-row expression goes through the tree-walking interpreter (pins the
+  compiled engine of ``pipeline-default`` against the interpreted one);
 * ``pipeline-nl-joins`` — hash joins disabled (everything nested-loop);
 * ``pipeline-no-index`` — index scans disabled;
 * ``pipeline-merge-joins`` — sort-merge joins preferred;
@@ -221,6 +224,10 @@ PATHS: tuple[tuple[str, Callable[[str, Mapping[str, Any], Database], Any]], ...]
     ("calculus-normalized", _path_calculus_normalized),
     ("algebra-logical", _path_algebra_logical),
     ("pipeline-default", _pipeline_path()),
+    # compiled_exprs=True is the default, so pipeline-default runs the
+    # expression codegen; this path pins the interpreted-expression engine
+    # against it, making compiled-vs-interpreted a differential axis.
+    ("pipeline-interpreted-exprs", _pipeline_path(compiled_exprs=False)),
     ("pipeline-nl-joins", _pipeline_path(hash_joins=False)),
     ("pipeline-no-index", _pipeline_path(index_scans=False)),
     ("pipeline-merge-joins", _pipeline_path(merge_joins=True)),
