@@ -54,7 +54,19 @@ from repro.data.datagen import (
     university_database,
 )
 from repro.engine.executor import ExecutionStats, run_with_stats
+from repro.engine.governor import CancelToken, Governor
 from repro.engine.planner import PlannerOptions, execute, plan_physical
+from repro.errors import (
+    BudgetExceeded,
+    ExecutionError,
+    GovernorError,
+    PlanningError,
+    QueryCancelled,
+    QueryError,
+    QueryTimeout,
+    TypeCheckError,
+    UnknownExtentError,
+)
 from repro.oql.params import parameterize_literals
 from repro.oql.parser import parse
 from repro.oql.translator import parse_and_translate, translate
@@ -62,17 +74,28 @@ from repro.oql.translator import parse_and_translate, translate
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceeded",
+    "CancelToken",
     "CompiledQuery",
     "Database",
     "Evaluator",
+    "ExecutionError",
     "ExecutionStats",
+    "Governor",
+    "GovernorError",
     "Optimizer",
     "OptimizerOptions",
     "PIPELINE_STAGES",
     "PlanCache",
     "PlannerOptions",
+    "PlanningError",
+    "QueryCancelled",
+    "QueryError",
     "QueryPipeline",
+    "QueryTimeout",
     "StageResult",
+    "TypeCheckError",
+    "UnknownExtentError",
     "UnnestingTrace",
     "ab_database",
     "canonicalize",

@@ -37,12 +37,17 @@ from repro.data.schema import (
     Schema,
     Type,
 )
+from repro.errors import TypeCheckError
 
 EnvType = dict[str, Type]
 
 
-class AlgebraTypeError(TypeError):
-    """A plan violates the typing rules of Figure 6."""
+class AlgebraTypeError(TypeCheckError, TypeError):
+    """A plan violates the typing rules of Figure 6.
+
+    Both a :class:`~repro.errors.TypeCheckError` (the structured taxonomy)
+    and a ``TypeError`` (the historical base, for existing callers).
+    """
 
 
 def infer_plan_type(plan: Operator, schema: Schema | None = None) -> Type:

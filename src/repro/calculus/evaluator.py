@@ -42,10 +42,22 @@ from repro.calculus.terms import (
     Zero,
 )
 from repro.data.values import NULL, CollectionValue, Record, identity_eq, is_null
+from repro.errors import ExecutionError
 
 
-class EvaluationError(Exception):
+class EvaluationError(ExecutionError):
     """Raised when a term cannot be evaluated (bad types, unbound names)."""
+
+
+class DivisionByZeroError(EvaluationError):
+    """Division or modulo by zero.
+
+    The repo pins the typed-error semantics (not SQL's silent NULL): the
+    T1–T9 rules cannot see the divisor's *value*, so a zero divisor is a
+    runtime fault — but a structured one, raised identically by the
+    interpreter, the closure tier, and the source-generation tier (the
+    differential oracle sweeps all three).
+    """
 
 
 class UnboundParameterError(EvaluationError):
@@ -77,10 +89,14 @@ class Evaluator:
         self,
         database: ExtentProvider,
         params: Mapping[str, Any] | None = None,
+        governor: Any | None = None,
     ):
         self._database = database
         self.params = dict(params) if params else {}
         self.steps = 0
+        #: Optional :class:`repro.engine.governor.Governor`; ticked per
+        #: generator iteration so ``unnest=False`` runs are bounded too.
+        self.governor = governor
 
     def evaluate(self, term: Term, env: Mapping[str, Any] | None = None) -> Any:
         """Evaluate *term* in environment *env* (variable name → value)."""
@@ -262,8 +278,12 @@ class Evaluator:
                 f"generator domain for {first.var!r} is not a collection "
                 f"({type(domain).__name__})"
             )
+        governor = self.governor
+        tick = governor.tick if governor is not None else None
         for element in domain.elements():
             self.steps += 1
+            if tick is not None:
+                tick()
             inner = dict(env)
             inner[first.var] = element
             yield from self._bindings(rest, inner)
@@ -303,28 +323,41 @@ def apply_binop(op: str, left: Any, right: Any) -> Any:
     ``=`` through this single function, so no execution path can disagree
     about what object equality means.
     """
-    if op == "+":
-        return left + right
-    if op == "-":
-        return left - right
-    if op == "*":
-        return left * right
-    if op == "/":
-        if right == 0:
-            raise EvaluationError("division by zero")
-        return left / right
-    if op == "==":
-        return identity_eq(left, right)
-    if op == "!=":
-        return not identity_eq(left, right)
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise DivisionByZeroError("division by zero")
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise DivisionByZeroError("modulo by zero")
+            return left % right
+        if op == "==":
+            return identity_eq(left, right)
+        if op == "!=":
+            return not identity_eq(left, right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        # A well-typed plan cannot get here (the T1–T9 checker rejects
+        # e.g. string + float at plan time); with typechecking disabled
+        # the fault still surfaces as a structured error.
+        raise EvaluationError(
+            f"operator {op!r} applied to incompatible values "
+            f"{type(left).__name__} and {type(right).__name__}: {exc}"
+        ) from exc
     raise EvaluationError(f"unknown operator {op!r}")
 
 

@@ -183,6 +183,7 @@ BINARY_OPS = {
     "-": "-",
     "*": "*",
     "/": "/",
+    "%": "%",
     "==": "=",
     "!=": "!=",
     "<": "<",
@@ -194,7 +195,7 @@ BINARY_OPS = {
 }
 
 COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
-ARITHMETIC_OPS = frozenset({"+", "-", "*", "/"})
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
 BOOLEAN_OPS = frozenset({"and", "or"})
 
 

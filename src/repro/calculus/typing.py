@@ -51,10 +51,12 @@ from repro.data.schema import (
     FunctionType,
     RecordType,
     Schema,
+    StringType,
     Type,
     is_numeric,
     unify,
 )
+from repro.errors import TypeCheckError
 
 #: Carrier types of the primitive monoids.
 _PRIMITIVE_MONOID_TYPES: dict[str, Type] = {
@@ -68,8 +70,13 @@ _PRIMITIVE_MONOID_TYPES: dict[str, Type] = {
 }
 
 
-class CalculusTypeError(TypeError):
-    """A term violates the typing rules of Figure 3."""
+class CalculusTypeError(TypeCheckError, TypeError):
+    """A term violates the typing rules of Figure 3.
+
+    Both a :class:`~repro.errors.TypeCheckError` (the structured taxonomy)
+    and a ``TypeError`` (the historical base, for existing callers).  The
+    message names the offending subterm.
+    """
 
     def __init__(self, message: str, term: Term | None = None):
         if term is not None:
@@ -206,6 +213,21 @@ class TypeChecker:
         left = self.infer(term.left, env)
         right = self.infer(term.right, env)
         if term.op in ARITHMETIC_OPS:
+            if term.op == "+" and (
+                isinstance(left, StringType) or isinstance(right, StringType)
+            ):
+                # ``+`` doubles as string concatenation — but only
+                # string + string; string + number is the classic leak
+                # this checker exists to reject (T4 hole).
+                if isinstance(left, (StringType, AnyType)) and isinstance(
+                    right, (StringType, AnyType)
+                ):
+                    return STRING
+                raise CalculusTypeError(
+                    f"arithmetic + over incompatible types {left}, {right} "
+                    "(string concatenation needs string on both sides)",
+                    term,
+                )
             if not (is_numeric(left) and is_numeric(right)):
                 raise CalculusTypeError(
                     f"arithmetic {term.op} over non-numeric types {left}, {right}",

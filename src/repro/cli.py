@@ -10,8 +10,9 @@ Usage::
 The interactive shell accepts OQL queries terminated by a semicolon and the
 meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus``,
 ``\\stages`` (toggle per-query output), ``\\cache`` (plan-cache statistics),
-``\\compile`` (toggle expression codegen), ``\\db <name>`` (switch
-database), and ``\\quit``.
+``\\compile`` (toggle expression codegen), ``\\limits`` (show/set per-query
+governor limits, e.g. ``\\limits timeout=1.0 max_rows=100000``),
+``\\db <name>`` (switch database), and ``\\quit``.
 
 Prepared-statement placeholders (``:name``) take their values from repeated
 ``--param name=value`` flags::
@@ -109,6 +110,33 @@ def build_parser() -> argparse.ArgumentParser:
             "to native closures (the escape hatch for codegen issues)"
         ),
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per query; exceeding it raises QueryTimeout",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "work-unit budget per query (rows emitted + join pairs "
+            "considered); exceeding it raises BudgetExceeded"
+        ),
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "estimated-memory budget for blocking operators (hash/merge "
+            "join builds, grouping); exceeding it raises BudgetExceeded"
+        ),
+    )
     return parser
 
 
@@ -187,6 +215,9 @@ def run_query(
     compare_naive: bool = False,
     unnest: bool = True,
     compiled_exprs: bool = True,
+    timeout: float | None = None,
+    max_rows: int | None = None,
+    max_bytes: int | None = None,
     optimizer: Optimizer | None = None,
     params: dict[str, Any] | None = None,
     out=None,
@@ -196,7 +227,14 @@ def run_query(
     params = params or {}
     if optimizer is None:
         optimizer = Optimizer(
-            db, OptimizerOptions(unnest=unnest, compiled_exprs=compiled_exprs)
+            db,
+            OptimizerOptions(
+                unnest=unnest,
+                compiled_exprs=compiled_exprs,
+                timeout=timeout,
+                max_rows=max_rows,
+                max_bytes=max_bytes,
+            ),
         )
     compiled = optimizer.compile_oql(source)
     # The REPL keeps one \set binding table across queries; only forward the
@@ -236,6 +274,52 @@ def run_query(
         )
 
 
+def _repl_limits(optimizer: Optimizer, argument: str, out) -> None:
+    """The REPL ``\\limits`` command: show, set, or clear governor limits.
+
+    ``\\limits`` shows the current limits, ``\\limits off`` clears them, and
+    ``\\limits timeout=0.5 max_rows=10000 max_bytes=1000000`` sets any subset
+    (each key optional).  Changing limits clears the plan cache: cached
+    CompiledQuery objects carry their options snapshot.
+    """
+    from dataclasses import replace as _replace
+
+    options = optimizer.options
+    if not argument.strip():
+        print(
+            f"  timeout={options.timeout!r} max_rows={options.max_rows!r} "
+            f"max_bytes={options.max_bytes!r}",
+            file=out,
+        )
+        return
+    if argument.strip().lower() == "off":
+        optimizer.options = _replace(
+            options, timeout=None, max_rows=None, max_bytes=None
+        )
+        optimizer.plan_cache.clear()
+        print("  limits cleared", file=out)
+        return
+    updates: dict[str, Any] = {}
+    for piece in argument.split():
+        try:
+            name, value = parse_param(piece)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return
+        if name not in ("timeout", "max_rows", "max_bytes"):
+            print(
+                f"error: unknown limit {name!r} "
+                "(expected timeout, max_rows, or max_bytes)",
+                file=out,
+            )
+            return
+        updates[name] = value
+    optimizer.options = _replace(options, **updates)
+    optimizer.plan_cache.clear()
+    set_to = " ".join(f"{k}={v!r}" for k, v in updates.items())
+    print(f"  limits set: {set_to}", file=out)
+
+
 def repl(db_name: str, out=None) -> None:
     """The interactive OQL shell (see the module docstring for commands)."""
     out = out if out is not None else sys.stdout
@@ -253,7 +337,8 @@ def repl(db_name: str, out=None) -> None:
         f"repro OQL shell — database '{db_name}' ({db!r}).\n"
         "End queries with ';' (views: 'define <name> as <query>;').\n"
         "Meta: \\plan \\explain \\trace \\calculus \\stages \\cache "
-        "\\compile \\set name=value \\params \\views \\db <name> \\quit",
+        "\\compile \\limits \\set name=value \\params \\views \\db <name> "
+        "\\quit",
         file=out,
     )
     buffer: list[str] = []
@@ -290,6 +375,9 @@ def repl(db_name: str, out=None) -> None:
                 )
                 state = "on" if optimizer.options.compiled_exprs else "off"
                 print(f"\\compile {state} (expression codegen)", file=out)
+                continue
+            if command == "limits":
+                _repl_limits(optimizer, argument, out)
                 continue
             if command == "views":
                 if optimizer.views:
@@ -407,6 +495,15 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
             "object (the pre-identity-layer scheme; disables duplicates)"
         ),
     )
+    parser.add_argument(
+        "--fault-injection",
+        action="store_true",
+        help=(
+            "also run every sample under a tiny deterministic governor "
+            "budget: failures must be structured GovernorErrors and the "
+            "engine must stay clean afterwards"
+        ),
+    )
     return parser
 
 
@@ -427,6 +524,7 @@ def run_fuzz_command(argv: list[str], out=None) -> int:
         save_repros=args.save_repros,
         shrink=not args.no_shrink,
         invariants=not args.no_invariants,
+        fault_injection=args.fault_injection,
         schema_config=schema_config,
     )
     start = time.perf_counter()
@@ -472,6 +570,9 @@ def main(argv: list[str] | None = None) -> int:
             compare_naive=args.naive,
             unnest=not args.no_unnest,
             compiled_exprs=not args.no_compile,
+            timeout=args.timeout,
+            max_rows=args.max_rows,
+            max_bytes=args.max_bytes,
             params=params,
         )
     except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes

@@ -86,7 +86,17 @@ class OptimizerOptions:
     compiled_exprs: bool = True
     #: Type-check the calculus translation (Figure 3) and the final plan
     #: (Figure 6) during compilation, failing fast on ill-typed queries.
-    typecheck: bool = False
+    #: On by default: an ill-typed query should die at plan time with a
+    #: TypeCheckError naming the subterm, not mid-execution.
+    typecheck: bool = True
+    #: Per-query governor limits (repro.engine.governor), all off by
+    #: default.  ``timeout`` is a wall-clock budget in seconds; ``max_rows``
+    #: bounds work units (rows emitted + join pairs considered);
+    #: ``max_bytes`` bounds the estimated memory buffered by blocking
+    #: operators.  Tripping any of them raises a structured GovernorError.
+    timeout: float | None = None
+    max_rows: int | None = None
+    max_bytes: int | None = None
 
 
 # ---------------------------------------------------------------------------

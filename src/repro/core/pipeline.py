@@ -30,6 +30,7 @@ lazily so that ``repro.core.optimizer`` can import it without a cycle.)
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, replace
@@ -48,8 +49,10 @@ from repro.data.database import Database
 from repro.engine.compile import ExprCompiler
 from repro.engine.cost import CostModel
 from repro.engine.executor import ExecutionStats, run_with_stats
+from repro.engine.governor import CancelToken, Governor
 from repro.engine.planner import PlannerOptions, plan_physical
 from repro.engine.physical import PEval, PReduce, PhysicalOperator
+from repro.errors import ExecutionError, PlanningError, QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.optimizer import OptimizerOptions
@@ -125,33 +128,41 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[Any, CompiledQuery] = OrderedDict()
+        # Guards entries *and* counters: the LRU move_to_end/popitem pair
+        # is not atomic under concurrent lookups, and a thread pool serving
+        # one pipeline hits exactly that race.
+        self._lock = threading.Lock()
 
     def lookup(self, key: Any) -> CompiledQuery | None:
         """The cached plan for *key*, or None; updates the hit/miss counters."""
-        try:
-            compiled = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return compiled
+        with self._lock:
+            try:
+                compiled = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return compiled
 
     def store(self, key: Any, compiled: CompiledQuery) -> None:
         """Insert a plan, evicting the least recently used beyond maxsize."""
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
@@ -231,27 +242,84 @@ class CompiledQuery:
             )
         return merged
 
-    def execute(self, database: Database, **params: Any) -> Any:
+    def make_governor(
+        self, cancel_token: "CancelToken | None" = None
+    ) -> Governor | None:
+        """A fresh per-execution governor when any limit or token applies
+        (options carry the limits; the token arrives per call), else None —
+        the ungoverned hot path stays entirely hook-free."""
+        options = self.options
+        if (
+            cancel_token is None
+            and options.timeout is None
+            and options.max_rows is None
+            and options.max_bytes is None
+        ):
+            return None
+        governor = Governor(
+            timeout=options.timeout,
+            max_rows=options.max_rows,
+            max_bytes=options.max_bytes,
+            token=cancel_token,
+            source=self.source,
+        )
+        # Check once up front: an already-cancelled token or an already
+        # expired deadline must trip even on queries too small to ever
+        # reach the first amortized checkpoint.
+        governor.check()
+        return governor
+
+    def execute(
+        self,
+        database: Database,
+        *,
+        cancel_token: "CancelToken | None" = None,
+        **params: Any,
+    ) -> Any:
         """Run the query against *database* using the compiled strategy.
 
         Keyword arguments supply (or override) parameter values for this
         call only; every declared placeholder must end up with a value.
+        *cancel_token* attaches a cooperative cancellation handle to this
+        execution (see :class:`repro.engine.governor.CancelToken`).
+
+        Any failure is a :class:`~repro.errors.QueryError`: structured
+        errors pass through annotated with the query source, and anything
+        else is wrapped in :class:`~repro.errors.ExecutionError`.
         """
-        values = self._merged_params(params)
-        if self.optimized is None:
-            # Naive nested-loop evaluation of the calculus form.
-            result = Evaluator(database, values).evaluate(self.prepared)
-        else:
-            physical = self.physical(database, values)
-            assert isinstance(physical, (PReduce, PEval))
-            result = physical.value()
-        if self.order_by:
-            result = _apply_order(result, self.order_by, database, values)
+        try:
+            values = self._merged_params(params)
+            governor = self.make_governor(cancel_token)
+            if self.optimized is None:
+                # Naive nested-loop evaluation of the calculus form.
+                result = Evaluator(
+                    database, values, governor=governor
+                ).evaluate(self.prepared)
+            else:
+                physical = self.physical(database, values, governor=governor)
+                assert isinstance(physical, (PReduce, PEval))
+                result = physical.value()
+            if self.order_by:
+                result = _apply_order(result, self.order_by, database, values)
+        except QueryError as exc:
+            raise exc.annotate(source=self.source, stage="execute")
+        except Exception as exc:
+            raise ExecutionError(
+                f"unexpected {type(exc).__name__}: {exc}",
+                source=self.source,
+                stage="execute",
+            ) from exc
         return result
 
     def expr_compiler(self) -> ExprCompiler | None:
         """The closure compiler shared by this query's executions (or None
-        when ``compiled_exprs`` is off), created on first use."""
+        when ``compiled_exprs`` is off), created on first use.
+
+        The lazy init is benignly racy under threads: two first executions
+        may build two compilers and one wins, wasting one codegen pass but
+        never corrupting state (the compiler's runtime cell is itself
+        thread-local, so the winner is safe to share).
+        """
         if not self.options.compiled_exprs:
             return None
         if self._compiler is None:
@@ -263,6 +331,7 @@ class CompiledQuery:
         database: Database,
         params: Mapping[str, Any] | None = None,
         profile: bool = False,
+        governor: Governor | None = None,
     ) -> PhysicalOperator:
         """The physical plan bound to *database* (and parameter values)."""
         if self.optimized is None:
@@ -274,6 +343,7 @@ class CompiledQuery:
             params,
             profile=profile,
             compiler=self.expr_compiler(),
+            governor=governor,
         )
 
     def explain(self, database: Database) -> str:
@@ -308,7 +378,9 @@ def _apply_order(
     from repro.data.values import CollectionValue, ListValue, Record
 
     if not isinstance(result, CollectionValue):
-        raise TypeError("ORDER BY applies to collection-valued queries only")
+        raise ExecutionError(
+            "ORDER BY applies to collection-valued queries only"
+        )
     evaluator = Evaluator(database, params)
 
     def env_of(element: Any) -> dict[str, Any]:
@@ -358,6 +430,7 @@ class QueryPipeline:
         self.plan_cache = PlanCache(cache_size)
         #: How many times each stage has actually run (cache hits add none).
         self.stage_counts: Counter[str] = Counter()
+        self._counts_lock = threading.Lock()
         self._views_epoch = 0
 
     # -- statements ---------------------------------------------------------
@@ -402,12 +475,25 @@ class QueryPipeline:
         )
 
     def compile_oql(self, source: str) -> CompiledQuery:
-        """Compile an OQL query string, consulting the plan cache first."""
+        """Compile an OQL query string, consulting the plan cache first.
+
+        Compilation failures are always :class:`~repro.errors.QueryError`
+        subclasses: structured errors from the stages pass through
+        annotated with the source text; anything else (an internal bug)
+        is wrapped in :class:`~repro.errors.PlanningError`.
+        """
         key = self.cache_key(source)
         cached = self.plan_cache.lookup(key)
         if cached is not None:
             return cached
-        compiled = self._compile_source(source)
+        try:
+            compiled = self._compile_source(source)
+        except QueryError as exc:
+            raise exc.annotate(source=source)
+        except Exception as exc:
+            raise PlanningError(
+                f"unexpected {type(exc).__name__}: {exc}", source=source
+            ) from exc
         self.plan_cache.store(key, compiled)
         return compiled
 
@@ -515,52 +601,104 @@ class QueryPipeline:
         )
 
     def _stage(self, stages: list, name: str, fn, render) -> Any:
-        """Run one stage: time *fn*, snapshot via *render*, record, count."""
+        """Run one stage: time *fn*, snapshot via *render*, record, count.
+
+        The stage boundary is also the error boundary: a structured error
+        is annotated with the stage that raised it, and a raw exception —
+        which would otherwise leak a ``KeyError``/``TypeError`` out of
+        ``run_oql`` — is wrapped in :class:`~repro.errors.PlanningError`.
+        """
         start = time.perf_counter()
-        value = fn()
+        try:
+            value = fn()
+        except QueryError as exc:
+            raise exc.annotate(stage=name)
+        except Exception as exc:
+            raise PlanningError(
+                f"unexpected {type(exc).__name__} in {name}: {exc}", stage=name
+            ) from exc
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        self.stage_counts[name] += 1
+        with self._counts_lock:
+            self.stage_counts[name] += 1
         stages.append(StageResult(name, elapsed_ms, render(value), value))
         return value
 
     # -- execution ----------------------------------------------------------
 
-    def run_oql(self, source: str, **params: Any) -> Any:
-        """Compile (through the cache) and execute an OQL query."""
+    def run_oql(
+        self,
+        source: str,
+        *,
+        cancel_token: CancelToken | None = None,
+        **params: Any,
+    ) -> Any:
+        """Compile (through the cache) and execute an OQL query.
+
+        Never propagates a raw Python exception: every failure — parse,
+        name resolution, typecheck, execution fault, or a tripped governor
+        limit — is a :class:`~repro.errors.QueryError` subclass carrying
+        the query source and the pipeline stage that failed.
+        """
         if self.database is None:
             raise ValueError("pipeline has no database to run against")
-        return self.compile_oql(source).execute(self.database, **params)
+        return self.compile_oql(source).execute(
+            self.database, cancel_token=cancel_token, **params
+        )
 
-    def run_oql_stats(self, source: str, **params: Any) -> ExecutionStats:
+    def run_oql_stats(
+        self,
+        source: str,
+        *,
+        cancel_token: CancelToken | None = None,
+        **params: Any,
+    ) -> ExecutionStats:
         """Compile (through the cache), execute, and collect statistics.
 
         The returned :class:`~repro.engine.executor.ExecutionStats` carries
         the plan-cache counters and whether *this* execution reused a
-        cached plan, alongside the usual per-operator row counts.
+        cached plan, alongside the usual per-operator row counts — plus
+        governor accounting (work units ticked, peak buffered bytes) when
+        limits are configured.
         """
         if self.database is None:
             raise ValueError("pipeline has no database to run against")
         hits_before = self.plan_cache.hits
         compiled = self.compile_oql(source)
         from_cache = self.plan_cache.hits > hits_before
-        values = compiled._merged_params(params)
-        if compiled.optimized is None:
-            start = time.perf_counter()
-            result = Evaluator(self.database, values).evaluate(compiled.prepared)
-            elapsed_ms = (time.perf_counter() - start) * 1000.0
-            stats = ExecutionStats(result=result, elapsed_ms=elapsed_ms)
-        else:
-            stats = run_with_stats(
-                compiled.optimized,
-                self.database,
-                _planner_options(compiled.options),
-                values,
-                compiler=compiled.expr_compiler(),
-            )
-        if compiled.order_by:
-            stats.result = _apply_order(
-                stats.result, compiled.order_by, self.database, values
-            )
+        try:
+            values = compiled._merged_params(params)
+            governor = compiled.make_governor(cancel_token)
+            if compiled.optimized is None:
+                start = time.perf_counter()
+                result = Evaluator(
+                    self.database, values, governor=governor
+                ).evaluate(compiled.prepared)
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                stats = ExecutionStats(result=result, elapsed_ms=elapsed_ms)
+            else:
+                stats = run_with_stats(
+                    compiled.optimized,
+                    self.database,
+                    _planner_options(compiled.options),
+                    values,
+                    compiler=compiled.expr_compiler(),
+                    governor=governor,
+                )
+            if compiled.order_by:
+                stats.result = _apply_order(
+                    stats.result, compiled.order_by, self.database, values
+                )
+        except QueryError as exc:
+            raise exc.annotate(source=source, stage="execute")
+        except Exception as exc:
+            raise ExecutionError(
+                f"unexpected {type(exc).__name__}: {exc}",
+                source=source,
+                stage="execute",
+            ) from exc
+        if governor is not None:
+            stats.governor_ticks = governor.ticks
+            stats.governor_peak_bytes = governor.peak_bytes
         stats.cache_hits = self.plan_cache.hits
         stats.cache_misses = self.plan_cache.misses
         stats.from_cache = from_cache

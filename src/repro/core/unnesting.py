@@ -76,9 +76,10 @@ from repro.calculus.terms import (
     transform,
 )
 from repro.core.normalization import prepare
+from repro.errors import PlanningError
 
 
-class UnnestingError(Exception):
+class UnnestingError(PlanningError):
     """The translator was given a term it cannot compile (internal bug)."""
 
 

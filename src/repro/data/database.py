@@ -14,6 +14,7 @@ from typing import Any, Iterable
 
 from repro.data.schema import Schema
 from repro.data.values import BagValue, CollectionValue, ListValue, Record, SetValue
+from repro.errors import UnknownExtentError
 
 
 class Database:
@@ -117,7 +118,7 @@ class Database:
         try:
             base = self._extents[name]
         except KeyError:
-            raise KeyError(
+            raise UnknownExtentError(
                 f"unknown extent {name!r}; known extents: {sorted(self._extents)}"
             ) from None
         if name in self._extent_cache:

@@ -55,9 +55,11 @@ amortizes codegen along with planning.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Mapping
 
 from repro.calculus.evaluator import (
+    DivisionByZeroError,
     EvaluationError,
     Evaluator,
     UnboundParameterError,
@@ -141,7 +143,7 @@ class _Counter:
         self.fallback = 0
 
 
-class ExprRuntime:
+class ExprRuntime(threading.local):
     """Per-execution bindings that compiled closures read at evaluation time.
 
     Closures must be reusable across executions (they are cached on
@@ -149,9 +151,13 @@ class ExprRuntime:
     execution — the prepared-statement parameter values, the database, the
     fallback interpreter — is reached through this one mutable cell, rebound
     by :meth:`ExprCompiler.activate` before each execution plans.
-    """
 
-    __slots__ = ("params", "database", "evaluator")
+    The cell is a ``threading.local``: a ``CompiledQuery`` shared by a
+    thread pool has each thread activate and read *its own* bindings, so
+    concurrent executions with different parameters cannot clobber each
+    other mid-query.  (``__init__`` runs once per thread on first access,
+    giving every thread the empty defaults until it activates.)
+    """
 
     def __init__(self) -> None:
         self.params: Mapping[str, Any] = {}
@@ -506,13 +512,28 @@ def _make_or(left: EvalFn, right: EvalFn) -> EvalFn:
     return run
 
 
+def _binop_type_error(op: str, a, b, exc: TypeError) -> EvaluationError:
+    """The structured error for an ill-typed operator application.
+
+    Mirrors :func:`repro.calculus.evaluator.apply_binop` so the compiled
+    tiers and the interpreter fail identically (the differential oracle
+    pins this)."""
+    return EvaluationError(
+        f"operator {op!r} applied to incompatible values "
+        f"{type(a).__name__} and {type(b).__name__}: {exc}"
+    )
+
+
 def _make_add(left: EvalFn, right: EvalFn) -> EvalFn:
     def run(env: dict) -> Any:
         a = left(env)
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a + b
+        try:
+            return a + b
+        except TypeError as exc:
+            raise _binop_type_error('+', a, b, exc) from exc
 
     return run
 
@@ -523,7 +544,10 @@ def _make_sub(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a - b
+        try:
+            return a - b
+        except TypeError as exc:
+            raise _binop_type_error('-', a, b, exc) from exc
 
     return run
 
@@ -534,7 +558,10 @@ def _make_mul(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a * b
+        try:
+            return a * b
+        except TypeError as exc:
+            raise _binop_type_error('*', a, b, exc) from exc
 
     return run
 
@@ -546,8 +573,27 @@ def _make_div(left: EvalFn, right: EvalFn) -> EvalFn:
         if a is NULL or b is NULL:
             return NULL
         if b == 0:
-            raise EvaluationError("division by zero")
-        return a / b
+            raise DivisionByZeroError("division by zero")
+        try:
+            return a / b
+        except TypeError as exc:
+            raise _binop_type_error("/", a, b, exc) from exc
+
+    return run
+
+
+def _make_mod(left: EvalFn, right: EvalFn) -> EvalFn:
+    def run(env: dict) -> Any:
+        a = left(env)
+        b = right(env)
+        if a is NULL or b is NULL:
+            return NULL
+        if b == 0:
+            raise DivisionByZeroError("modulo by zero")
+        try:
+            return a % b
+        except TypeError as exc:
+            raise _binop_type_error("%", a, b, exc) from exc
 
     return run
 
@@ -584,7 +630,10 @@ def _make_lt(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a < b
+        try:
+            return a < b
+        except TypeError as exc:
+            raise _binop_type_error('<', a, b, exc) from exc
 
     return run
 
@@ -595,7 +644,10 @@ def _make_le(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a <= b
+        try:
+            return a <= b
+        except TypeError as exc:
+            raise _binop_type_error('<=', a, b, exc) from exc
 
     return run
 
@@ -606,7 +658,10 @@ def _make_gt(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a > b
+        try:
+            return a > b
+        except TypeError as exc:
+            raise _binop_type_error('>', a, b, exc) from exc
 
     return run
 
@@ -617,7 +672,10 @@ def _make_ge(left: EvalFn, right: EvalFn) -> EvalFn:
         b = right(env)
         if a is NULL or b is NULL:
             return NULL
-        return a >= b
+        try:
+            return a >= b
+        except TypeError as exc:
+            raise _binop_type_error('>=', a, b, exc) from exc
 
     return run
 
@@ -629,6 +687,7 @@ _BINOPS: dict[str, Callable[[EvalFn, EvalFn], EvalFn]] = {
     "-": _make_sub,
     "*": _make_mul,
     "/": _make_div,
+    "%": _make_mod,
     "==": _make_eq,
     "!=": _make_ne,
     "<": _make_lt,
@@ -696,6 +755,8 @@ class _SourceEmitter:
             "NULL": NULL,
             "Record": Record,
             "EvaluationError": EvaluationError,
+            "DivisionByZeroError": DivisionByZeroError,
+            "_binop_type_error": _binop_type_error,
             "identity_key": identity_key,
             "_SCALARS": _SCALARS,
             "_var_miss": _var_miss,
@@ -871,12 +932,22 @@ class _SourceEmitter:
             )
             return out
         self.line(depth, "else:")
-        if op == "/":
+        if op in ("/", "%"):
+            fault = "division by zero" if op == "/" else "modulo by zero"
             self.line(depth + 1, f"if {right} == 0:")
             self.line(
-                depth + 2, "raise EvaluationError('division by zero')"
+                depth + 2, f"raise DivisionByZeroError({fault!r})"
             )
-        self.line(depth + 1, f"{out} = {left} {op} {right}")
+        # A well-typed plan never trips the TypeError arm; with
+        # typechecking off the fault must still surface structured,
+        # matching the interpreter (zero-cost when not raised on 3.11+).
+        self.line(depth + 1, "try:")
+        self.line(depth + 2, f"{out} = {left} {op} {right}")
+        self.line(depth + 1, "except TypeError as exc:")
+        self.line(
+            depth + 2,
+            f"raise _binop_type_error({op!r}, {left}, {right}, exc) from exc",
+        )
         return out
 
     def _gen_shortcircuit(self, term: BinOp, env: str, depth: int) -> str:
@@ -896,7 +967,7 @@ class _SourceEmitter:
 
 #: BinOp operators the source tier emits inline (and/or are special-cased).
 _SRC_BINOPS = frozenset(
-    ("+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">=")
+    ("+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=")
 )
 
 _SRC_HANDLERS: dict[type, Callable[..., str]] = {

@@ -53,6 +53,11 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     from_cache: bool = False
+    #: Governor accounting: work units ticked (rows emitted + join pairs
+    #: considered) and the peak estimated bytes buffered by blocking
+    #: operators.  Both stay 0 when the execution ran ungoverned.
+    governor_ticks: int = 0
+    governor_peak_bytes: int = 0
 
     @property
     def total_rows(self) -> int:
@@ -67,6 +72,11 @@ class ExecutionStats:
                 f" ({source}; plan cache {self.cache_hits} hits /"
                 f" {self.cache_misses} misses)"
             )
+        if self.governor_ticks:
+            line = f"governor: {self.governor_ticks} work units"
+            if self.governor_peak_bytes:
+                line += f", peak ~{self.governor_peak_bytes} bytes buffered"
+            lines.append(line)
         for op in self.operators:
             line = f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}"
             if op.eval_mode:
@@ -82,6 +92,7 @@ def run_with_stats(
     params: Mapping[str, Any] | None = None,
     profile: bool = True,
     compiler: "ExprCompiler | None" = None,
+    governor: Any | None = None,
 ) -> ExecutionStats:
     """Plan, execute, and collect per-operator statistics.
 
@@ -89,9 +100,17 @@ def run_with_stats(
     every operator time its expression evaluation, at the cost of a timer
     call per evaluated expression.  *compiler* reuses a caller-owned
     expression compiler (see :func:`repro.engine.planner.plan_physical`).
+    *governor* attaches per-query limits; its accounting lands in
+    ``governor_ticks``/``governor_peak_bytes``.
     """
     physical = plan_physical(
-        plan, database, options, params, profile=profile, compiler=compiler
+        plan,
+        database,
+        options,
+        params,
+        profile=profile,
+        compiler=compiler,
+        governor=governor,
     )
     if not isinstance(physical, (PReduce, PEval)):
         raise TypeError("a complete plan must be rooted at Reduce or Eval")
@@ -99,6 +118,9 @@ def run_with_stats(
     result = physical.value()
     elapsed_ms = (time.perf_counter() - start) * 1000.0
     stats = ExecutionStats(result=result, elapsed_ms=elapsed_ms)
+    if governor is not None:
+        stats.governor_ticks = governor.ticks
+        stats.governor_peak_bytes = governor.peak_bytes
     _collect(physical, 0, stats)
     return stats
 

@@ -43,8 +43,22 @@ from repro.data.values import (
     is_null,
 )
 from repro.engine.compile import CompiledExpr, ExprCompiler
+from repro.engine.governor import (
+    SAMPLE_STRIDE,
+    estimate_buffer_bytes,
+    estimate_bytes,
+)
 
 Env = dict[str, Any]
+
+#: Batch threshold for ungoverned loops: a local counter compared against
+#: this never settles, so the hot path pays one increment and one compare.
+_NO_BATCH = 2**63
+
+#: ``n & _STRIDE_MASK == 0`` selects one row per SAMPLE_STRIDE (a power of
+#: two) — a bitwise test, cheaper than modulo in the buffering loops.
+_STRIDE_MASK = SAMPLE_STRIDE - 1
+assert SAMPLE_STRIDE & _STRIDE_MASK == 0, "SAMPLE_STRIDE must be a power of two"
 
 
 class PhysicalOperator:
@@ -129,8 +143,9 @@ class PhysicalOperator:
 
 class _Context:
     """Shared per-execution state: the database, a term evaluator, the bound
-    prepared-statement parameters (``:name`` placeholder values), and the
-    expression compiler (or None when running interpreted)."""
+    prepared-statement parameters (``:name`` placeholder values), the
+    expression compiler (or None when running interpreted), and the optional
+    per-execution :class:`~repro.engine.governor.Governor`."""
 
     def __init__(
         self,
@@ -139,16 +154,39 @@ class _Context:
         compiled_exprs: bool = True,
         profile: bool = False,
         compiler: ExprCompiler | None = None,
+        governor: Any | None = None,
     ):
         self.database = database
         self.params = dict(params) if params else {}
         self.profile = profile
-        self._terms = TermEvaluator(database, self.params)
+        self.governor = governor
+        self._terms = TermEvaluator(database, self.params, governor=governor)
         if compiled_exprs:
             self._compiler = compiler if compiler is not None else ExprCompiler()
             self._compiler.activate(self._terms, database)
         else:
             self._compiler = None
+
+    def batch(self) -> int:
+        """The initial work-unit batch for a ``rows()`` loop.
+
+        Governed loops count work units in a local integer and settle every
+        *batch* units via ``governor.tick_many`` (see
+        :meth:`repro.engine.governor.Governor.batch`); ungoverned loops get
+        :data:`_NO_BATCH`, a threshold the counter never reaches, so both
+        paths pay only a local increment and comparison per unit.
+        """
+        governor = self.governor
+        return governor.batch() if governor is not None else _NO_BATCH
+
+    def charge_fn(self):
+        """The governor's byte-accounting hook for blocking operators, or
+        None when ungoverned or no memory budget is set (the shallow size
+        estimation is only worth paying when a budget can trip)."""
+        governor = self.governor
+        if governor is None or governor.max_bytes is None:
+            return None
+        return governor.charge
 
     def value(self, term: Term, env: Env) -> Any:
         return self._terms.evaluate(term, env)
@@ -200,9 +238,19 @@ class PScan(PhysicalOperator):
 
     def rows(self) -> Iterator[Env]:
         var = self.var
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
         for obj in self._context.database.extent(self.extent):
             self.rows_produced += 1
+            units += 1
+            if units >= batch:
+                governor.tick_many(units)
+                units = 0
+                batch = governor.batch()
             yield {var: obj}
+        if governor is not None:
+            governor.tick_many(units)
 
     def describe(self) -> str:
         return f"Scan({self.var} <- {self.extent})"
@@ -236,9 +284,19 @@ class PIndexScan(PhysicalOperator):
             return
         database = self._context.database
         var = self.var
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
         for obj in database.index_lookup(self.extent, self.attr, value):
             self.rows_produced += 1
+            units += 1
+            if units >= batch:
+                governor.tick_many(units)
+                units = 0
+                batch = governor.batch()
             yield {var: obj}
+        if governor is not None:
+            governor.tick_many(units)
 
     def describe(self) -> str:
         return f"IndexScan({self.var} <- {self.extent} on {self.attr} = {self.key})"
@@ -342,13 +400,35 @@ class PNestedLoopJoin(PhysicalOperator):
 
     def rows(self) -> Iterator[Env]:
         if self._right_rows is None:
-            self._right_rows = list(self.right.rows())
+            charge = self._context.charge_fn()
+            if charge is None:
+                self._right_rows = list(self.right.rows())
+            else:
+                materialized = []
+                for nb, env in enumerate(self.right.rows()):
+                    if not nb & _STRIDE_MASK:
+                        # One row stands for its whole stride: rows in a
+                        # buffer share a shape, and charging the stride up
+                        # front keeps the estimator off the per-row path.
+                        charge(estimate_bytes(env) * SAMPLE_STRIDE)
+                    materialized.append(env)
+                self._right_rows = materialized
         right_rows = self._right_rows
         holds = self._holds
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
         padding = {col: NULL for col in self.right_columns}
         for left_env in self.left.rows():
             matched = False
             for right_env in right_rows:
+                # Every pair considered is a work unit: a cross-join blowup
+                # is charged here even when it emits almost nothing.
+                units += 1
+                if units >= batch:
+                    governor.tick_many(units)
+                    units = 0
+                    batch = governor.batch()
                 env = {**left_env, **right_env}
                 if holds(env):
                     matched = True
@@ -357,6 +437,8 @@ class PNestedLoopJoin(PhysicalOperator):
             if self.outer and not matched:
                 self.rows_produced += 1
                 yield {**left_env, **padding}
+        if governor is not None:
+            governor.tick_many(units)
 
     def describe(self) -> str:
         kind = "OuterNLJoin" if self.outer else "NLJoin"
@@ -407,18 +489,29 @@ class PHashJoin(PhysicalOperator):
         # allocation per row; probes below agree on the representation.
         table: dict[Any, list[Env]] = {}
         key_fns = self._right_key_fns
-        if len(key_fns) == 1:
+        charge = self._context.charge_fn()
+        if len(key_fns) == 1 and charge is None:
             (key_fn,) = key_fns
             for right_env in self.right.rows():
                 key = identity_key(key_fn(right_env))
                 table.setdefault(key, []).append(right_env)
             return table
-        for right_env in self.right.rows():
-            key = tuple(identity_key(fn(right_env)) for fn in key_fns)
+        single = key_fns[0] if len(key_fns) == 1 else None
+        for nb, right_env in enumerate(self.right.rows()):
+            if single is not None:
+                key = identity_key(single(right_env))
+            else:
+                key = tuple(identity_key(fn(right_env)) for fn in key_fns)
+            if charge is not None and not nb & _STRIDE_MASK:
+                # Sampled: one row charges for its whole stride.
+                charge(estimate_bytes(right_env) * SAMPLE_STRIDE)
             table.setdefault(key, []).append(right_env)
         return table
 
     def rows(self) -> Iterator[Env]:
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
         if self._table is None:
             self._table = self._build_table()
         table = self._table
@@ -440,6 +533,11 @@ class PHashJoin(PhysicalOperator):
             matched = False
             if not null_key:
                 for right_env in table.get(key, ()):
+                    units += 1
+                    if units >= batch:
+                        governor.tick_many(units)
+                        units = 0
+                        batch = governor.batch()
                     env = {**left_env, **right_env}
                     if holds(env):
                         matched = True
@@ -448,6 +546,8 @@ class PHashJoin(PhysicalOperator):
             if self.outer and not matched:
                 self.rows_produced += 1
                 yield {**left_env, **padding}
+        if governor is not None:
+            governor.tick_many(units)
 
     def describe(self) -> str:
         kind = "HashOuterJoin" if self.outer else "HashJoin"
@@ -513,6 +613,7 @@ class PMergeJoin(PhysicalOperator):
                 yield identity_sort_key(key), key, env
 
     def rows(self) -> Iterator[Env]:
+        charge = self._context.charge_fn()
         if self._right_rows is None:
             right_rows = [
                 row
@@ -520,14 +621,21 @@ class PMergeJoin(PhysicalOperator):
                 if row[0] is not None
             ]
             right_rows.sort(key=lambda row: row[0])
+            if charge is not None:
+                charge(estimate_buffer_bytes(right_rows, get=lambda r: r[2]))
             self._right_rows = right_rows
         right_rows = self._right_rows
         left_rows = list(self._keyed(self.left, self._left_key_fn))
+        if charge is not None:
+            charge(estimate_buffer_bytes(left_rows, get=lambda r: r[2]))
         nullish = [env for wrapper, _, env in left_rows if wrapper is None]
         sortable = [row for row in left_rows if row[0] is not None]
         sortable.sort(key=lambda row: row[0])
         padding = {col: NULL for col in self.right_columns}
         holds = self._holds
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
 
         index = 0
         for wrapper, key, left_env in sortable:
@@ -536,6 +644,11 @@ class PMergeJoin(PhysicalOperator):
             matched = False
             probe = index
             while probe < len(right_rows) and right_rows[probe][0] == wrapper:
+                units += 1
+                if units >= batch:
+                    governor.tick_many(units)
+                    units = 0
+                    batch = governor.batch()
                 # Wrapper equality is coarser than key equality: confirm on
                 # the raw identity keys before pairing.
                 if right_rows[probe][1] == key:
@@ -548,6 +661,8 @@ class PMergeJoin(PhysicalOperator):
             if self.outer and not matched:
                 self.rows_produced += 1
                 yield {**left_env, **padding}
+        if governor is not None:
+            governor.tick_many(units)
         if self.outer:
             for left_env in nullish:
                 self.rows_produced += 1
@@ -587,6 +702,9 @@ class PUnnest(PhysicalOperator):
         path_fn = self._path_fn
         holds = self._holds
         var = self.var
+        governor = self._context.governor
+        units = 0
+        batch = self._context.batch()
         for env in self.child.rows():
             value = path_fn(env)
             matched = False
@@ -596,6 +714,11 @@ class PUnnest(PhysicalOperator):
                         f"unnest path evaluated to {type(value).__name__}"
                     )
                 for element in value.elements():
+                    units += 1
+                    if units >= batch:
+                        governor.tick_many(units)
+                        units = 0
+                        batch = governor.batch()
                     extended = {**env, var: element}
                     if holds(extended):
                         matched = True
@@ -604,6 +727,8 @@ class PUnnest(PhysicalOperator):
             if self.outer and not matched:
                 self.rows_produced += 1
                 yield {**env, var: NULL}
+        if governor is not None:
+            governor.tick_many(units)
 
     def describe(self) -> str:
         kind = "OuterUnnest" if self.outer else "Unnest"
@@ -657,6 +782,8 @@ class PHashNest(PhysicalOperator):
         group_envs: dict[tuple[Any, ...], Env] = {}
         collection = isinstance(monoid, CollectionMonoid)
         lift = monoid.lift
+        charge = self._context.charge_fn()
+        buffered = 0
         single = group_by[0] if len(group_by) == 1 else None
         for env in self.child.rows():
             # Identity-aware grouping: distinct stored objects with equal
@@ -678,6 +805,11 @@ class PHashNest(PhysicalOperator):
                 continue
             value = head_fn(env)
             if collection:
+                if charge is not None:
+                    if not buffered & _STRIDE_MASK:
+                        # Sampled: one value charges for its whole stride.
+                        charge(estimate_bytes(value) * SAMPLE_STRIDE)
+                    buffered += 1
                 groups[key].append(value)
             elif value is not NULL:
                 groups[key] = merge(groups[key], lift(value))

@@ -78,6 +78,7 @@ def plan_physical(
     params: Mapping[str, Any] | None = None,
     profile: bool = False,
     compiler: "ExprCompiler | None" = None,
+    governor: Any | None = None,
 ) -> PhysicalOperator:
     """Translate a logical plan into a physical plan bound to *database*.
 
@@ -86,7 +87,9 @@ def plan_physical(
     *profile* makes operators time their expression evaluation (EXPLAIN
     ANALYZE).  *compiler* reuses a caller-owned :class:`ExprCompiler` so its
     memoized closures survive across executions (the plan cache passes the
-    one stored on ``CompiledQuery``).
+    one stored on ``CompiledQuery``).  *governor* is an optional
+    :class:`repro.engine.governor.Governor` ticked from every operator loop
+    of this execution.
     """
     options = options or PlannerOptions()
     context = _Context(
@@ -95,6 +98,7 @@ def plan_physical(
         compiled_exprs=options.compiled_exprs,
         profile=profile,
         compiler=compiler,
+        governor=governor,
     )
     return _build(plan, context, options)
 

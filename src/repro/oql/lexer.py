@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import PlanningError
+
 KEYWORDS = frozenset(
     {
         "select",
@@ -47,7 +49,7 @@ KEYWORDS = frozenset(
 )
 
 #: Multi- and single-character symbols, longest first.
-SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".", ":", "+", "-", "*", "/")
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", ".", ":", "+", "-", "*", "/", "%")
 
 
 @dataclass(frozen=True)
@@ -63,14 +65,19 @@ class Token:
         return f"Token({self.kind}, {self.value!r})"
 
 
-class OQLSyntaxError(SyntaxError):
-    """A lexical or syntactic error in an OQL query."""
+class OQLSyntaxError(PlanningError, SyntaxError):
+    """A lexical or syntactic error in an OQL query.
+
+    Both a :class:`~repro.errors.PlanningError` (the structured taxonomy)
+    and a ``SyntaxError`` (the historical base, for existing callers).
+    """
 
     def __init__(self, message: str, source: str, position: int):
         line = source.count("\n", 0, position) + 1
         column = position - (source.rfind("\n", 0, position) + 1) + 1
         super().__init__(f"{message} (line {line}, column {column})")
         self.position = position
+        self.source = source
 
 
 def tokenize(source: str) -> list[Token]:

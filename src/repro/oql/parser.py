@@ -299,7 +299,7 @@ class _Parser:
 
     def _parse_multiplicative(self) -> Node:
         node = self._parse_unary()
-        while self._at_symbol("*", "/"):
+        while self._at_symbol("*", "/", "%"):
             op = self._advance().value
             node = BinaryOp(op, node, self._parse_unary())
         return node

@@ -34,7 +34,7 @@ _PRECEDENCE = {
     "and": 2,
     "=": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3, "==": 3,
     "+": 4, "-": 4,
-    "*": 5, "/": 5,
+    "*": 5, "/": 5, "%": 5,
 }
 
 

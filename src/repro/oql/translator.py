@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.calculus import terms as t
 from repro.data.schema import Schema
+from repro.errors import PlanningError, UnknownExtentError
 from repro.oql import ast
 from repro.oql.parser import parse
 
@@ -35,7 +36,7 @@ _AGGREGATE_MONOIDS = {
 }
 
 
-class TranslationError(Exception):
+class TranslationError(PlanningError):
     """The OQL query uses a construct outside the supported subset."""
 
 
@@ -136,7 +137,7 @@ class _Translator:
             and self._schema.extent_names()
             and not self._schema.has_extent(node.name)
         ):
-            raise TranslationError(
+            raise UnknownExtentError(
                 f"unknown name {node.name!r}: not a range variable in scope "
                 f"({sorted(scope)}) and not an extent "
                 f"({list(self._schema.extent_names())})"

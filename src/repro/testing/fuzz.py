@@ -39,6 +39,13 @@ class FuzzConfig:
     shrink: bool = True
     #: Also run the structural pipeline invariants on every sample.
     invariants: bool = True
+    #: Fault injection: additionally run every sample under a deliberately
+    #: tiny, deterministic governor budget so limits trip mid-query, and
+    #: assert (a) the failure is a structured GovernorError, never a raw
+    #: exception, and (b) the engine state stays clean — the same pipeline
+    #: immediately re-runs the query unlimited and must still agree with
+    #: the reference result.
+    fault_injection: bool = False
     schema_config: SchemaGenConfig = field(default_factory=SchemaGenConfig)
     query_config: QueryGenConfig = field(default_factory=QueryGenConfig)
 
@@ -47,7 +54,7 @@ class FuzzConfig:
 class Finding:
     """One fuzzer-found problem, already shrunk."""
 
-    kind: str  # "disagreement" | "invariant"
+    kind: str  # "disagreement" | "invariant" | "fault-injection"
     iteration: int
     source: str
     params: dict[str, Any]
@@ -95,6 +102,78 @@ Progress = Callable[[int, "FuzzReport"], None]
 
 def _iteration_rng(seed: int, iteration: int) -> random.Random:
     return random.Random(f"{seed}:{iteration}")
+
+
+def check_fault_injection(
+    source: str, params: dict[str, Any], db, rng: random.Random
+) -> list[str]:
+    """Trip a tiny governor budget mid-query; verify clean failure + state.
+
+    Returns human-readable violations (empty = pass).  Three properties:
+
+    1. under a small ``max_rows`` budget the query either completes (it was
+       cheap) or fails with a :class:`~repro.errors.GovernorError` — never
+       any other exception class;
+    2. a *second* execution on the same pipeline object with the budget
+       still in place behaves identically (no corrupted operator state,
+       no poisoned plan cache);
+    3. the same query re-run on an unlimited pipeline still matches the
+       reference semantics — a tripped budget must not leave partial
+       results anywhere.
+    """
+    from repro.core.optimizer import OptimizerOptions
+    from repro.core.pipeline import QueryPipeline
+    from repro.errors import GovernorError, QueryError
+    from repro.testing.oracle import results_equal
+
+    violations: list[str] = []
+    budget = rng.choice((1, 5, 25))
+    limited = QueryPipeline(db, OptimizerOptions(max_rows=budget))
+
+    def run_limited() -> tuple[str, Any]:
+        try:
+            return "ok", limited.run_oql(source, **dict(params))
+        except GovernorError:
+            return "tripped", None
+        except QueryError:
+            return "error", None  # the query itself is bad; fine
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            violations.append(
+                f"fault injection (max_rows={budget}) leaked a raw "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return "leak", None
+
+    first, _ = run_limited()
+    second, _ = run_limited()
+    if "leak" not in (first, second) and first != second:
+        violations.append(
+            f"fault injection not deterministic: first run {first!r}, "
+            f"second run {second!r} (max_rows={budget})"
+        )
+    # Clean-state probe: unlimited re-execution must match the reference.
+    try:
+        reference = QueryPipeline(db).run_oql(source, **dict(params))
+    except QueryError:
+        return violations  # query fails regardless of budgets; nothing to compare
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            f"unlimited run leaked a raw {type(exc).__name__}: {exc}"
+        )
+        return violations
+    try:
+        again = QueryPipeline(db).run_oql(source, **dict(params))
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            f"re-run after fault injection failed: {type(exc).__name__}: {exc}"
+        )
+        return violations
+    if not results_equal(reference, again):
+        violations.append(
+            "state not clean after fault injection: re-run result "
+            f"{again!r} != reference {reference!r}"
+        )
+    return violations
 
 
 def generate_sample(config: FuzzConfig, iteration: int):
@@ -148,6 +227,16 @@ def run_fuzz(config: FuzzConfig, progress: Progress | None = None) -> FuzzReport
                 report.findings.append(
                     Finding(
                         "invariant", iteration, source, dict(params),
+                        "\n".join(violations),
+                    )
+                )
+        if config.fault_injection:
+            rng = _iteration_rng(config.seed, iteration)
+            violations = check_fault_injection(source, dict(params), db, rng)
+            if violations:
+                report.findings.append(
+                    Finding(
+                        "fault-injection", iteration, source, dict(params),
                         "\n".join(violations),
                     )
                 )

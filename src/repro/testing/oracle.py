@@ -38,6 +38,8 @@ from typing import Any, Callable, Mapping
 from repro.algebra.evaluator import evaluate_plan
 from repro.calculus.evaluator import evaluate
 from repro.calculus.terms import Const, Null, Param, Term, transform
+from repro.calculus.typing import infer_type
+from repro.errors import QueryError
 from repro.core.normalization import prepare
 from repro.core.pipeline import QueryPipeline
 from repro.core.unnesting import _uniquify, unnest
@@ -56,17 +58,26 @@ from repro.oql.translator import parse_and_translate
 
 @dataclass
 class PathOutcome:
-    """What one execution path produced: a value or an error."""
+    """What one execution path produced: a value or an error.
+
+    ``structured`` records whether a failure was a proper
+    :class:`~repro.errors.QueryError`.  The paths that run through
+    ``QueryPipeline.run_oql`` promise to *never* leak a raw Python
+    exception, so an unstructured failure there is itself a bug the
+    oracle flags — even when every path failed "identically".
+    """
 
     path: str
     ok: bool
     value: Any = None
     error: str = ""
+    structured: bool = True
 
     def describe(self) -> str:
         if self.ok:
             return f"{self.path}: {self.value!r}"
-        return f"{self.path}: ERROR {self.error}"
+        leak = "" if self.structured else " (RAW LEAK)"
+        return f"{self.path}: ERROR{leak} {self.error}"
 
 
 @dataclass
@@ -81,13 +92,20 @@ class OracleVerdict:
         return self.outcomes[0]
 
     def disagreements(self) -> list[PathOutcome]:
-        """The outcomes that differ from the reference path."""
+        """The outcomes that differ from the reference path, plus any
+        pipeline path that leaked a raw (unstructured) exception."""
         reference = self.reference
-        return [
+        differing = [
             outcome
             for outcome in self.outcomes[1:]
             if not _outcomes_match(reference, outcome)
         ]
+        leaks = [
+            outcome
+            for outcome in self.outcomes
+            if not outcome.structured and outcome not in differing
+        ]
+        return differing + leaks
 
     def describe(self) -> str:
         lines = ["agreed" if self.agreed else "DISAGREED"]
@@ -169,6 +187,10 @@ def substitute_params(term: Term, params: Mapping[str, Any]) -> Term:
 
 def _path_calculus_raw(source: str, params: Mapping[str, Any], db: Database) -> Any:
     term = parse_and_translate(source, db.schema)
+    # The pipeline paths typecheck by default; the raw reference paths must
+    # reject the same queries or an ill-typed query would "disagree" by
+    # succeeding here while every pipeline path throws TypeCheckError.
+    infer_type(term, db.schema)
     return evaluate(term, db, params=params)
 
 
@@ -176,6 +198,7 @@ def _path_calculus_normalized(
     source: str, params: Mapping[str, Any], db: Database
 ) -> Any:
     term = parse_and_translate(source, db.schema)
+    infer_type(term, db.schema)
     return evaluate(_uniquify(prepare(term)), db, params=params)
 
 
@@ -183,6 +206,7 @@ def _path_algebra_logical(
     source: str, params: Mapping[str, Any], db: Database
 ) -> Any:
     term = substitute_params(parse_and_translate(source, db.schema), params)
+    infer_type(term, db.schema)
     plan = unnest(_uniquify(prepare(term)))
     return evaluate_plan(plan, db)
 
@@ -218,6 +242,12 @@ def _path_param_roundtrip(
     return QueryPipeline(db).run_oql(parameterized, **merged)
 
 
+#: Paths that execute outside ``QueryPipeline.run_oql`` and therefore make
+#: no promise about structured errors (the pipeline paths do).
+RAW_PATHS = frozenset(
+    ("calculus-raw", "calculus-normalized", "algebra-logical")
+)
+
 #: Ordered (name, runner) pairs; the first entry is the reference semantics.
 PATHS: tuple[tuple[str, Callable[[str, Mapping[str, Any], Database], Any]], ...] = (
     ("calculus-raw", _path_calculus_raw),
@@ -249,8 +279,16 @@ def run_all_paths(
         try:
             outcomes.append(PathOutcome(name, True, runner(source, params, db)))
         except Exception as exc:  # noqa: BLE001 - errors are data here
+            # Pipeline paths promise structured errors; a raw builtin
+            # exception leaking out of run_oql is a finding in itself.
+            structured = name in RAW_PATHS or isinstance(exc, QueryError)
             outcomes.append(
-                PathOutcome(name, False, error=f"{type(exc).__name__}: {exc}")
+                PathOutcome(
+                    name,
+                    False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    structured=structured,
+                )
             )
     return outcomes
 
@@ -261,9 +299,14 @@ def check_sample(
     """Run every path and judge agreement.
 
     All paths succeeding with equal results, or all paths failing, is
-    agreement; anything else is a disagreement.
+    agreement; anything else is a disagreement.  A pipeline path that
+    fails with a *raw* (non-:class:`~repro.errors.QueryError`) exception
+    is always a disagreement, even when every path failed: the pipeline's
+    error contract is part of what the oracle checks.
     """
     outcomes = run_all_paths(source, params, db)
     reference = outcomes[0]
-    agreed = all(_outcomes_match(reference, other) for other in outcomes[1:])
+    agreed = all(
+        _outcomes_match(reference, other) for other in outcomes[1:]
+    ) and all(outcome.structured for outcome in outcomes)
     return OracleVerdict(agreed, outcomes)

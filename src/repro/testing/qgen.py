@@ -208,9 +208,11 @@ class QueryGenerator:
         paths = self._paths_of_kind(env, (kind,))
         if kind in _NUMERIC and paths and rng.random() < 0.25:
             base, _ = rng.choice(paths)
-            op = rng.choice(("+", "-", "*", "/"))
+            op = rng.choice(("+", "-", "*", "/", "%"))
             if op == "/":
                 return f"{base} / {rng.choice((2, 4))}"
+            if op == "%":
+                return f"{base} % {rng.choice((3, 7))}"
             if op == "*":
                 return f"{base} * {rng.choice((2, 3))}"
             return f"{base} {op} {self.rng.randint(0, INT_RANGE)}"

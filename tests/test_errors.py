@@ -95,8 +95,96 @@ class TestOptimizerErrors:
         db = company_database(5, 2, seed=2)
         compiled = Optimizer(db).compile_oql("count( select e from e in Employees )")
         compiled.order_by = ((var("value"), True),)
-        with pytest.raises(TypeError, match="collection"):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="collection"):
             compiled.execute(db)
+
+
+class TestErrorTaxonomyContract:
+    """run_oql's error contract: whatever is wrong with a query — syntax,
+    names, types, runtime values, resource limits — the failure is always a
+    QueryError subclass carrying the query source, never a bare builtin."""
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        from repro.data.datagen import company_database
+
+        return company_database(num_employees=20, num_departments=4, seed=2)
+
+    # Corpus queries each broken a different way: unknown extent, unknown
+    # field, ill-typed arithmetic, string/number mixing, division and modulo
+    # by zero, syntax garbage, unbound parameter, cross-type quantifier.
+    BROKEN = [
+        "select e.name from e in Employes",
+        "select e from e in Employees where e.nonexistent = 1",
+        "select e.name + e.salary from e in Employees",
+        "select e from e in Employees where e.name > e.salary",
+        "sum( select e.salary / (e.salary - e.salary) from e in Employees )",
+        "select e.salary % (e.dno - e.dno) from e in Employees",
+        "select e.name from e in Employees where",
+        "select from where in",
+        "select e from e in Employees where e.dno = :missing",
+        "select d from d in Departments where exists e in d.name: e = 1",
+    ]
+
+    @pytest.mark.parametrize("source", BROKEN)
+    def test_broken_query_raises_query_error(self, db, source):
+        from repro.core.pipeline import QueryPipeline
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError) as info:
+            QueryPipeline(db).run_oql(source)
+        # The taxonomy promise: the error identifies the query...
+        assert info.value.source == source
+        # ...and str() renders without raising and carries the context tag.
+        assert "query=" in str(info.value)
+
+    @pytest.mark.parametrize("source", BROKEN)
+    def test_broken_query_raises_query_error_interpreted(self, db, source):
+        """The interpreted-expression tier makes the same promise."""
+        from repro.core.optimizer import OptimizerOptions
+        from repro.core.pipeline import QueryPipeline
+        from repro.errors import QueryError
+
+        pipeline = QueryPipeline(db, OptimizerOptions(compiled_exprs=False))
+        with pytest.raises(QueryError):
+            pipeline.run_oql(source)
+
+    def test_plan_time_failures_have_planning_stage(self, db):
+        from repro.core.pipeline import QueryPipeline
+        from repro.errors import PlanningError, TypeCheckError, UnknownExtentError
+
+        pipeline = QueryPipeline(db)
+        with pytest.raises(UnknownExtentError) as info:
+            pipeline.run_oql("select e from e in Nowhere")
+        assert isinstance(info.value, PlanningError)
+        with pytest.raises(TypeCheckError, match="string"):
+            pipeline.run_oql("select e.name + 1 from e in Employees")
+
+    def test_division_by_zero_is_execution_error(self, db):
+        from repro.calculus.evaluator import DivisionByZeroError
+        from repro.core.pipeline import QueryPipeline
+        from repro.errors import ExecutionError
+
+        with pytest.raises(DivisionByZeroError) as info:
+            QueryPipeline(db).run_oql(
+                "sum( select e.salary / (e.dno - e.dno) "
+                "from e in Employees where e.dno = 1 )"
+            )
+        assert isinstance(info.value, ExecutionError)
+        assert info.value.stage == "execute"
+
+    def test_legacy_except_clauses_still_catch(self, db):
+        """Multiple inheritance keeps pre-taxonomy handlers working."""
+        from repro.core.pipeline import QueryPipeline
+
+        with pytest.raises(KeyError):  # UnknownExtentError is-a KeyError
+            QueryPipeline(db).run_oql("select x from x in Missing")
+        with pytest.raises(TypeError):  # TypeCheckError subtypes TypeError
+            QueryPipeline(db).run_oql("select e.name - 1 from e in Employees")
+        with pytest.raises(SyntaxError):  # OQLSyntaxError subtypes SyntaxError
+            QueryPipeline(db).run_oql("select ( from")
 
 
 class TestDoctests:

@@ -229,8 +229,10 @@ class TestTranslator:
         assert term.generators()[0].domain == Extent("Employees")
 
     def test_unknown_name_with_schema_rejected(self):
+        from repro.errors import UnknownExtentError
+
         db = company_database(5, 2)
-        with pytest.raises(TranslationError, match="unknown name"):
+        with pytest.raises(UnknownExtentError, match="unknown name"):
             parse_and_translate("select distinct x from e in Employees", db.schema)
 
     def test_exists_becomes_some(self):

@@ -101,11 +101,16 @@ class TestTypecheckOption:
             )
 
     def test_without_typecheck_error_surfaces_at_runtime(self, db):
-        optimizer = Optimizer(db)
+        from repro.core.optimizer import OptimizerOptions
+        from repro.errors import QueryError
+
+        optimizer = Optimizer(db, OptimizerOptions(typecheck=False))
         compiled = optimizer.compile_oql(
             "select distinct e.ghost from e in Employees"
         )
-        with pytest.raises(Exception):
+        # Even with static checking off, the failure must surface as a
+        # structured QueryError, not a raw KeyError.
+        with pytest.raises(QueryError):
             compiled.execute(db)
 
 

@@ -31,8 +31,8 @@ class TestStages:
         compiled = pipeline.compile_oql(PARAM_QUERY)
         names = [stage.name for stage in compiled.stages]
         assert names == [
-            "parse", "translate", "normalize", "unnest", "simplify",
-            "optimize", "plan",
+            "parse", "translate", "typecheck", "normalize", "unnest",
+            "simplify", "optimize", "plan",
         ]
         assert all(name in PIPELINE_STAGES for name in names)
 
@@ -64,7 +64,7 @@ class TestStages:
         term = pipeline.compile_oql(PARAM_QUERY).term
         compiled = pipeline.compile_term(term)
         names = [stage.name for stage in compiled.stages]
-        assert names[0] == "normalize"
+        assert names[0] == "typecheck"
         assert "parse" not in names
 
     def test_stage_counts_accumulate_across_queries(self, db):

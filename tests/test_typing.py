@@ -155,8 +155,22 @@ class TestCalculusTyping:
         assert infer_type(BinOp("/", const(1), const(2))) == FLOAT
 
     def test_arithmetic_type_error(self):
-        with pytest.raises(CalculusTypeError, match="non-numeric"):
+        with pytest.raises(CalculusTypeError, match="string on both sides"):
             infer_type(BinOp("+", const(1), const("x")))
+        with pytest.raises(CalculusTypeError, match="non-numeric"):
+            infer_type(BinOp("-", const(1), const("x")))
+
+    def test_string_concatenation_types(self):
+        from repro.data.schema import STRING
+
+        assert infer_type(BinOp("+", const("a"), const("b"))) == STRING
+        with pytest.raises(CalculusTypeError, match="string on both sides"):
+            infer_type(BinOp("+", const("a"), const(1.5)))
+
+    def test_modulo_types(self):
+        assert infer_type(BinOp("%", const(7), const(2))) == INT
+        with pytest.raises(CalculusTypeError, match="non-numeric"):
+            infer_type(BinOp("%", const("a"), const(2)))
 
     def test_comparison(self):
         assert infer_type(BinOp("<", const(1), const(2))) == BOOL
