@@ -10,8 +10,10 @@ Usage::
 The interactive shell accepts OQL queries terminated by a semicolon and the
 meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus``,
 ``\\stages`` (toggle per-query output), ``\\cache`` (plan-cache statistics),
-``\\compile`` (toggle expression codegen), ``\\limits`` (show/set per-query
-governor limits, e.g. ``\\limits timeout=1.0 max_rows=100000``),
+``\\compile`` (toggle expression codegen), ``\\batch`` (toggle batch
+execution; ``\\batch N`` sets the rows-per-chunk), ``\\limits``
+(show/set per-query governor limits, e.g.
+``\\limits timeout=1.0 max_rows=100000``),
 ``\\db <name>`` (switch database), and ``\\quit``.
 
 Prepared-statement placeholders (``:name``) take their values from repeated
@@ -109,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
             "interpret expression ASTs per row instead of compiling them "
             "to native closures (the escape hatch for codegen issues)"
         ),
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "stream one row at a time between operators instead of "
+            "columnar chunks (the batch-execution escape hatch)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per chunk on the batch path (default 1024)",
     )
     parser.add_argument(
         "--timeout",
@@ -215,6 +232,8 @@ def run_query(
     compare_naive: bool = False,
     unnest: bool = True,
     compiled_exprs: bool = True,
+    batched_exec: bool = True,
+    batch_size: int | None = None,
     timeout: float | None = None,
     max_rows: int | None = None,
     max_bytes: int | None = None,
@@ -226,16 +245,19 @@ def run_query(
     out = out if out is not None else sys.stdout
     params = params or {}
     if optimizer is None:
-        optimizer = Optimizer(
-            db,
-            OptimizerOptions(
-                unnest=unnest,
-                compiled_exprs=compiled_exprs,
-                timeout=timeout,
-                max_rows=max_rows,
-                max_bytes=max_bytes,
-            ),
+        options = OptimizerOptions(
+            unnest=unnest,
+            compiled_exprs=compiled_exprs,
+            batched_exec=batched_exec,
+            timeout=timeout,
+            max_rows=max_rows,
+            max_bytes=max_bytes,
         )
+        if batch_size is not None:
+            from dataclasses import replace as _replace
+
+            options = _replace(options, batch_size=max(1, batch_size))
+        optimizer = Optimizer(db, options)
     compiled = optimizer.compile_oql(source)
     # The REPL keeps one \set binding table across queries; only forward the
     # names this query actually declares.
@@ -337,8 +359,8 @@ def repl(db_name: str, out=None) -> None:
         f"repro OQL shell — database '{db_name}' ({db!r}).\n"
         "End queries with ';' (views: 'define <name> as <query>;').\n"
         "Meta: \\plan \\explain \\trace \\calculus \\stages \\cache "
-        "\\compile \\limits \\set name=value \\params \\views \\db <name> "
-        "\\quit",
+        "\\compile \\batch \\limits \\set name=value \\params \\views "
+        "\\db <name> \\quit",
         file=out,
     )
     buffer: list[str] = []
@@ -375,6 +397,37 @@ def repl(db_name: str, out=None) -> None:
                 )
                 state = "on" if optimizer.options.compiled_exprs else "off"
                 print(f"\\compile {state} (expression codegen)", file=out)
+                continue
+            if command == "batch":
+                from dataclasses import replace as _replace
+
+                if argument:
+                    # ``\batch N`` sets the chunk size (and turns batching
+                    # on); a bare ``\batch`` toggles the mode.
+                    try:
+                        size = int(argument)
+                        if size < 1:
+                            raise ValueError
+                    except ValueError:
+                        print(
+                            "usage: \\batch (toggle) or \\batch N "
+                            "(rows per chunk, N >= 1)",
+                            file=out,
+                        )
+                        continue
+                    optimizer.options = _replace(
+                        optimizer.options, batched_exec=True, batch_size=size
+                    )
+                    print(
+                        f"\\batch on ({size} rows per chunk)", file=out
+                    )
+                    continue
+                optimizer.options = _replace(
+                    optimizer.options,
+                    batched_exec=not optimizer.options.batched_exec,
+                )
+                state = "on" if optimizer.options.batched_exec else "off"
+                print(f"\\batch {state} (batch execution)", file=out)
                 continue
             if command == "limits":
                 _repl_limits(optimizer, argument, out)
@@ -570,6 +623,8 @@ def main(argv: list[str] | None = None) -> int:
             compare_naive=args.naive,
             unnest=not args.no_unnest,
             compiled_exprs=not args.no_compile,
+            batched_exec=not args.no_batch,
+            batch_size=args.batch_size,
             timeout=args.timeout,
             max_rows=args.max_rows,
             max_bytes=args.max_bytes,

@@ -72,6 +72,8 @@ def _planner_options(options: "OptimizerOptions") -> PlannerOptions:
         index_scans=options.index_scans,
         merge_joins=options.merge_joins,
         compiled_exprs=options.compiled_exprs,
+        batched_exec=options.batched_exec,
+        batch_size=options.batch_size,
     )
 
 
@@ -205,11 +207,20 @@ class CompiledQuery:
     _compiler: ExprCompiler | None = field(
         default=None, repr=False, compare=False
     )
+    #: Lazily computed cache for :attr:`param_names` — the term walk is
+    #: per-query, not per-execution (``bind`` copies carry it along).
+    _param_names: frozenset[str] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def param_names(self) -> frozenset[str]:
         """The ``:name`` placeholders this query expects values for."""
-        return param_names(self.term)
+        names = self._param_names
+        if names is None:
+            names = param_names(self.term)
+            self._param_names = names
+        return names
 
     def bind(self, **params: Any) -> "CompiledQuery":
         """A copy of this query with the given parameter values fixed.

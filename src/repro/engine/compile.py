@@ -8,7 +8,7 @@ constant factor: a type-dispatch dictionary lookup, a bound-method call, two
 ``isinstance`` NULL tests, and (for binary operations) a chain of string
 comparisons in ``apply_binop``, all per node per row.
 
-This module removes that factor by *lowering* each term, in two tiers:
+This module removes that factor by *lowering* each term, in three tiers:
 
 1. **Source generation** (the fast tier): the common row-level node kinds —
    variables, constants, parameters, projections, arithmetic / comparison /
@@ -21,6 +21,14 @@ This module removes that factor by *lowering* each term, in two tiers:
    closure each, calling their children's closures directly, with the
    operator and NULL checks resolved at compile time.  Source-tier code
    reaches a closure-tier subtree through a single embedded call.
+3. **Batch kernels** (the vectorized tier): the same source-tier body
+   wrapped in one generated ``while`` loop over a columnar
+   :class:`~repro.engine.batch.Chunk` — one native call evaluates the term
+   for every row of a batch, reading hoisted column locals instead of an
+   env dict per row.  Kernels never raise mid-batch: an exception at row
+   *t* is returned as ``(values so far, t, error)`` so the caller can
+   deliver the preceding rows first and replay the error lazily, exactly
+   where the row path would have raised it (see :class:`CompiledKernel`).
 
 Either tier degrades per node, never per term: a node kind neither tier
 knows (a residual :class:`~repro.calculus.terms.Comprehension`) compiles
@@ -84,11 +92,17 @@ from repro.calculus.terms import (
     Term,
     Var,
     Zero,
+    free_vars,
 )
 from repro.data.values import NULL, Record, identity_key
 
 Env = Mapping[str, Any]
 EvalFn = Callable[[dict], Any]
+#: A batch kernel: ``fn(cols, n) -> (values, t, error)``.  *cols* maps
+#: column names to value lists (all at least *n* long); rows ``[0, t)``
+#: evaluated successfully into *values*, and *error* is the exception row
+#: *t* raised (None when ``t == n``).  Kernels never raise themselves.
+KernelFn = Callable[[Mapping[str, list], int], "tuple[list, int, Any]"]
 
 #: Types whose ``==`` is plain value equality — the fast path that skips
 #: :func:`identity_key` (which returns scalars unchanged anyway).
@@ -131,6 +145,34 @@ class CompiledExpr:
             f"CompiledExpr({self.mode}, {self.compiled_nodes} compiled, "
             f"{self.fallback_nodes} interpreted)"
         )
+
+
+class CompiledKernel:
+    """A term lowered to a batch-level loop (the vectorized third tier).
+
+    ``fn(cols, n)`` evaluates the term over rows ``0..n-1`` of a columnar
+    chunk and returns ``(values, t, error)``: the results for rows
+    ``[0, t)``, plus the exception row *t* raised — or ``(values, n,
+    None)`` when every row succeeded.  Capturing instead of raising is the
+    contract that lets batch operators deliver the pre-error rows to their
+    consumer before replaying the failure, preserving the row path's lazy
+    short-circuit semantics.
+
+    ``trivial_true`` marks the predicate kernel for ``Const(True)`` (the
+    planner's "no predicate" marker) so operators can skip the kernel call
+    — and the ``[True] * n`` allocation — entirely.
+    """
+
+    __slots__ = ("fn", "term", "trivial_true")
+
+    def __init__(self, fn: KernelFn, term: Term, trivial_true: bool = False):
+        self.fn = fn
+        self.term = term
+        self.trivial_true = trivial_true
+
+    def __repr__(self) -> str:
+        suffix = ", trivial" if self.trivial_true else ""
+        return f"CompiledKernel({self.term}{suffix})"
 
 
 class _Counter:
@@ -199,7 +241,21 @@ class ExprCompiler:
 
     def __init__(self) -> None:
         self.runtime = ExprRuntime()
-        self._memo: dict[tuple[str, Term], CompiledExpr] = {}
+        #: kinds "expr"/"pred" hold CompiledExpr; "kexpr"/"kpred" hold the
+        #: batch-tier CompiledKernel for the same term.
+        self._memo: dict[tuple, Any] = {}
+        #: Identity front-cache over the structural memo: every execution
+        #: replans from the same cached logical plan, so operators pass the
+        #: very same Term objects — a ``(kind, id)`` hit skips the
+        #: tree-walking :func:`_memo_key`.  The stored term keeps the id
+        #: alive; an ``is`` check guards against id reuse.
+        self._by_id: dict[tuple[str, int], tuple[Term, Any]] = {}
+
+    def _id_hit(self, kind: str, term: Term) -> Any:
+        hit = self._by_id.get((kind, id(term)))
+        if hit is not None and hit[0] is term:
+            return hit[1]
+        return None
 
     def activate(self, evaluator: Evaluator, database: Any) -> None:
         """Point the runtime at one execution's interpreter and database."""
@@ -212,9 +268,13 @@ class ExprCompiler:
 
     def compile(self, term: Term) -> CompiledExpr:
         """Lower *term* to a value-producing function (source tier first)."""
+        hit = self._id_hit("expr", term)
+        if hit is not None:
+            return hit
         key = _memo_key("expr", term)
         memoized = self._memo.get(key)
         if memoized is not None:
+            self._by_id[("expr", id(term))] = (term, memoized)
             return memoized
         counter = _Counter()
         try:
@@ -224,6 +284,7 @@ class ExprCompiler:
             fn = self._compile(term, counter)
         compiled = CompiledExpr(fn, term, counter.compiled, counter.fallback)
         self._memo[key] = compiled
+        self._by_id[("expr", id(term))] = (term, compiled)
         return compiled
 
     def compile_predicate(self, term: Term) -> CompiledExpr:
@@ -233,9 +294,13 @@ class ExprCompiler:
         ``_Context.holds``: a NULL predicate fails the filter, anything
         non-boolean raises :class:`EvaluationError`.
         """
+        hit = self._id_hit("pred", term)
+        if hit is not None:
+            return hit
         key = _memo_key("pred", term)
         memoized = self._memo.get(key)
         if memoized is not None:
+            self._by_id[("pred", id(term))] = (term, memoized)
             return memoized
         if isinstance(term, Const) and term.value is True:
             # The planner's "no residual predicate" marker; skip the call.
@@ -261,7 +326,58 @@ class ExprCompiler:
 
         compiled = CompiledExpr(fn, term, counter.compiled, counter.fallback)
         self._memo[key] = compiled
+        self._by_id[("pred", id(term))] = (term, compiled)
         return compiled
+
+    def compile_kernel(self, term: Term) -> CompiledKernel:
+        """Lower *term* to a value-producing batch kernel (tier 3).
+
+        Falls back to a generated loop over the row closure when the kernel
+        emitter cannot handle the term — the batch path never fails to
+        plan, it just loses the column-hoisting win for that expression.
+        """
+        hit = self._id_hit("kexpr", term)
+        if hit is not None:
+            return hit
+        key = _memo_key("kexpr", term)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self._by_id[("kexpr", id(term))] = (term, memoized)
+            return memoized
+        try:
+            fn = _KernelEmitter(self, _Counter()).kernel(term, predicate=False)
+        except Exception:  # noqa: BLE001 - degrade to a row-closure loop
+            fn = _loop_kernel(self.compile(term).fn)
+        kernel = CompiledKernel(fn, term)
+        self._memo[key] = kernel
+        self._by_id[("kexpr", id(term))] = (term, kernel)
+        return kernel
+
+    def compile_predicate_kernel(self, term: Term) -> CompiledKernel:
+        """Lower *term* to a strict-boolean batch kernel: each result is
+        ``True`` or ``False`` (NULL filters as False), matching
+        :meth:`compile_predicate` row for row."""
+        hit = self._id_hit("kpred", term)
+        if hit is not None:
+            return hit
+        key = _memo_key("kpred", term)
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self._by_id[("kpred", id(term))] = (term, memoized)
+            return memoized
+        if isinstance(term, Const) and term.value is True:
+            kernel = CompiledKernel(_true_kernel, term, trivial_true=True)
+            self._memo[key] = kernel
+            self._by_id[("kpred", id(term))] = (term, kernel)
+            return kernel
+        try:
+            fn = _KernelEmitter(self, _Counter()).kernel(term, predicate=True)
+        except Exception:  # noqa: BLE001 - degrade to a row-closure loop
+            fn = _loop_kernel(self.compile_predicate(term).fn)
+        kernel = CompiledKernel(fn, term)
+        self._memo[key] = kernel
+        self._by_id[("kpred", id(term))] = (term, kernel)
+        return kernel
 
     # -- recursive lowering -------------------------------------------------
 
@@ -478,6 +594,32 @@ class ExprCompiler:
 
 def _always_true(env: dict) -> bool:
     return True
+
+
+def _true_kernel(cols: Mapping[str, list], n: int) -> tuple[list, int, Any]:
+    return [True] * n, n, None
+
+
+def _loop_kernel(row_fn: EvalFn) -> KernelFn:
+    """Batch adapter over a row closure: one env dict per row.
+
+    The fallback when the kernel emitter cannot lower a term (or the term
+    compiled into something the source tier rejects).  Still honours the
+    kernel contract — an exception at row *i* is captured as a truncation
+    point, never raised."""
+
+    def kernel(cols: Mapping[str, list], n: int) -> tuple[list, int, Any]:
+        out: list = []
+        append = out.append
+        items = list(cols.items())
+        try:
+            for i in range(n):
+                append(row_fn({name: col[i] for name, col in items}))
+        except Exception as exc:  # noqa: BLE001 - part of the contract
+            return out, len(out), exc
+        return out, n, None
+
+    return kernel
 
 
 # ---------------------------------------------------------------------------
@@ -733,6 +875,14 @@ def _pred_miss() -> None:
     raise EvaluationError("predicate did not evaluate to a boolean")
 
 
+def _if_miss() -> None:
+    raise EvaluationError("if condition is not a boolean")
+
+
+def _not_miss() -> None:
+    raise EvaluationError("'not' applied to a non-boolean")
+
+
 class _SourceEmitter:
     """Emits one term as the body of a generated ``def _fn(env):``.
 
@@ -763,6 +913,8 @@ class _SourceEmitter:
             "_param_miss": _param_miss,
             "_proj_slow": _proj_slow,
             "_pred_miss": _pred_miss,
+            "_if_miss": _if_miss,
+            "_not_miss": _not_miss,
             "rt": compiler.runtime,
         }
 
@@ -797,17 +949,23 @@ class _SourceEmitter:
         return name
 
     def gen(self, term: Term, env: str, depth: int) -> str:
-        handler = _SRC_HANDLERS.get(type(term))
+        # Dispatch through the per-class ``handlers`` table (plain function
+        # objects, no dynamic attribute lookup); _KernelEmitter swaps in its
+        # own table for the nodes whose emission differs in a batch loop.
+        handler = self.handlers.get(type(term))
         if handler is None:
-            # Outside the source subset: one call into the closure tier
-            # (which itself degrades per node to the interpreter).
-            sub = self.bind("s", self.compiler._compile(term, self.counter))
-            out = self.temp()
-            self.line(depth, f"{out} = {sub}({env})")
-            return out
+            return self._gen_fallback(term, env, depth)
         result = handler(self, term, env, depth)
         self.counter.compiled += 1
         return result
+
+    def _gen_fallback(self, term: Term, env: str, depth: int) -> str:
+        # Outside the source subset: one call into the closure tier
+        # (which itself degrades per node to the interpreter).
+        sub = self.bind("s", self.compiler._compile(term, self.counter))
+        out = self.temp()
+        self.line(depth, f"{out} = {sub}({env})")
+        return out
 
     # -- node emitters ------------------------------------------------------
 
@@ -965,6 +1123,383 @@ class _SourceEmitter:
         return out
 
 
+class _KernelEmitter(_SourceEmitter):
+    """Tier 3: emits one term as a batch kernel ``def _kern(cols, n)``.
+
+    The row body is the same straight-line code the source tier emits, run
+    inside one generated ``while`` loop over the chunk.  Three things
+    differ from the row emitter:
+
+    * **variable reads index hoisted column locals** — a prologue binds
+      ``_colK = cols['name']`` once per batch (raising the interpreter's
+      unbound-variable error if the column is absent), and the loop body
+      reads ``_colK[_i]`` instead of ``env['name']``;
+    * **lets bind scope temps, not env copies** — a ``let``-bound variable
+      becomes a loop-local name shadowing any same-named column for the
+      extent of the body, so no per-row dict is materialized;
+    * **errors truncate instead of raising** — the whole loop runs inside
+      one ``try`` whose handler returns ``(_out, _i, exc)``, giving the
+      caller the rows that preceded the failure (the kernel contract; see
+      :class:`CompiledKernel`).
+
+    Subtrees outside the source subset still evaluate through a
+    closure-tier call, fed a per-row env dict materialized from the
+    subtree's free variables (columns absent from the chunk are omitted so
+    the interpreter's own unbound error fires only if actually read).
+    """
+
+    def __init__(self, compiler: ExprCompiler, counter: _Counter):
+        super().__init__(compiler, counter)
+        #: Per-batch setup lines (column hoists, fallback column pairs),
+        #: emitted inside the try but before the row loop.
+        self.prologue: list[str] = []
+        #: Column name -> hoisted local holding ``cols[name]``.
+        self._columns: dict[str, str] = {}
+        #: Let-bound variable -> loop-local temp (shadows columns).
+        self._scope: dict[str, str] = {}
+
+    def kernel(self, term: Term, predicate: bool) -> KernelFn:
+        """The batch kernel for *term*: the comprehension fast form where
+        the term lowers to a single expression, the statement loop
+        otherwise.
+
+        The fast form evaluates the whole chunk as one list comprehension
+        — no per-row appends, no loop-counter bookkeeping — and keeps the
+        statement loop around as its error path: any exception inside the
+        comprehension (a NULL-division, a bad projection, an unbound
+        parameter) abandons the partial list and reruns the chunk through
+        the slow loop, which reproduces the exact truncation point and
+        structured error of the row tier.  Expressions are deterministic,
+        so the rerun reaches the same fault; the only cost is
+        double-evaluating the prefix rows of a faulting chunk, and faults
+        abort the query anyway.
+        """
+        slow = self._statement_kernel(term, predicate)
+        fast = _KernelEmitter(self.compiler, self.counter)
+        try:
+            return fast._comprehension_kernel(term, predicate, slow)
+        except Exception:  # noqa: BLE001 - fast form is optional
+            return slow
+
+    def _statement_kernel(self, term: Term, predicate: bool) -> KernelFn:
+        result = self.gen(term, "cols", 3)
+        if predicate:
+            self.line(3, f"if {result} is True:")
+            self.line(4, "_append(True)")
+            self.line(3, f"elif {result} is False or {result} is NULL:")
+            self.line(4, "_append(False)")
+            self.line(3, "else:")
+            self.line(4, "_pred_miss()")
+        else:
+            self.line(3, f"_append({result})")
+        prologue = ("\n".join(self.prologue) + "\n") if self.prologue else ""
+        source = (
+            "def _kern(cols, n):\n"
+            "    _out = []\n"
+            "    _append = _out.append\n"
+            "    _i = 0\n"
+            "    try:\n"
+            + prologue
+            + "        while _i < n:\n"
+            + "\n".join(self.lines)
+            + "\n"
+            "            _i += 1\n"
+            "    except Exception as _exc:\n"
+            "        return _out, _i, _exc\n"
+            "    return _out, n, None\n"
+        )
+        code = compile(source, "<repro.engine.compile:kernel>", "exec")
+        exec(code, self.ns)  # noqa: S102 - self-generated source only
+        return self.ns["_kern"]
+
+    # -- emission helpers ---------------------------------------------------
+
+    def pline(self, depth: int, text: str) -> None:
+        self.prologue.append("    " * depth + text)
+
+    def column(self, name: str) -> str:
+        """The hoisted local for ``cols[name]``, binding it on first use."""
+        local = self._columns.get(name)
+        if local is None:
+            self.n += 1
+            local = f"_col{self.n}"
+            self._columns[name] = local
+            self.pline(2, "try:")
+            self.pline(3, f"{local} = cols[{name!r}]")
+            self.pline(2, "except KeyError:")
+            self.pline(3, f"_var_miss({name!r}, cols)")
+        return local
+
+    # -- node emitters that differ from the row tier ------------------------
+
+    def _gen_var(self, term: Var, env: str, depth: int) -> str:
+        bound = self._scope.get(term.name)
+        if bound is not None:
+            return bound
+        return f"{self.column(term.name)}[_i]"
+
+    def _gen_let(self, term: Let, env: str, depth: int) -> str:
+        value = self.gen(term.value, env, depth)
+        out = self.temp()
+        self.line(depth, f"{out} = {value}")
+        scope = self._scope
+        had = term.var in scope
+        saved = scope.get(term.var)
+        scope[term.var] = out
+        try:
+            return self.gen(term.body, env, depth)
+        finally:
+            if had:
+                scope[term.var] = saved
+            else:
+                del scope[term.var]
+
+    def _gen_fallback(self, term: Term, env: str, depth: int) -> str:
+        # The closure-tier subtree takes an env dict: materialize one per
+        # row from the subtree's free variables.  Let-bound temps win over
+        # columns; columns absent from the chunk are omitted (guarded by
+        # the ``if _n in cols`` prologue filter) so the interpreter's own
+        # unbound-variable error fires only if the row actually reads the
+        # name — exactly the row path's laziness.
+        sub = self.bind("s", self.compiler._compile(term, self.counter))
+        names = sorted(free_vars(term))
+        scoped = [(name, self._scope[name]) for name in names if name in self._scope]
+        col_names = tuple(name for name in names if name not in self._scope)
+        self.n += 1
+        env_name = f"_env{self.n}"
+        if col_names:
+            pairs = f"_sub{self.n}"
+            self.pline(
+                2,
+                f"{pairs} = [(_n, cols[_n]) for _n in {col_names!r} "
+                "if _n in cols]",
+            )
+            self.line(depth, f"{env_name} = {{_n: _c[_i] for _n, _c in {pairs}}}")
+        else:
+            self.line(depth, f"{env_name} = {{}}")
+        for name, bound in scoped:
+            self.line(depth, f"{env_name}[{name!r}] = {bound}")
+        out = self.temp()
+        self.line(depth, f"{out} = {sub}({env_name})")
+        return out
+
+    # -- comprehension fast form --------------------------------------------
+    #
+    # Where a term lowers to a *single Python expression* (walrus
+    # assignments standing in for the statement tier's temps), the whole
+    # chunk evaluates as one list comprehension:
+    #
+    #     def _kern(cols, n):
+    #         try:
+    #             <column hoists>
+    #             return [<expr> for _i in range(n)], n, None
+    #         except Exception:
+    #             return _slow(cols, n)
+    #
+    # which is ~2.5x faster than the statement loop (one LIST_APPEND per
+    # row, no loop-counter or try-frame bookkeeping per row).  Error arms
+    # that the statement tier spells out (division by zero, type faults,
+    # unbound parameters) are not re-spelled here: the raw exception —
+    # KeyError, ZeroDivisionError, TypeError — aborts the comprehension
+    # and the chunk reruns through ``_slow``, whose loop reproduces the
+    # structured error and exact truncation row.  Success paths must agree
+    # between the two forms; error paths only need to *reach* ``_slow``.
+
+    def _comprehension_kernel(
+        self, term: Term, predicate: bool, slow: KernelFn
+    ) -> KernelFn:
+        expr = self.xgen(term)
+        if predicate:
+            t = self.wtemp()
+            expr = (
+                f"(True if ({t} := {expr}) is True else "
+                f"(False if {t} is False or {t} is NULL else _pred_miss()))"
+            )
+        self.ns["_slow"] = slow
+        prologue = ("\n".join(self.prologue) + "\n") if self.prologue else ""
+        source = (
+            "def _kern(cols, n):\n"
+            "    try:\n"
+            + prologue
+            + f"        return [{expr} for _i in range(n)], n, None\n"
+            "    except Exception:\n"
+            "        return _slow(cols, n)\n"
+        )
+        code = compile(source, "<repro.engine.compile:kernel-fast>", "exec")
+        exec(code, self.ns)  # noqa: S102 - self-generated source only
+        return self.ns["_kern"]
+
+    def wtemp(self) -> str:
+        """A name for a walrus-assignment target (function-scoped: an
+        assignment expression in a comprehension binds in the enclosing
+        ``_kern`` frame, which is exactly what the nested conditional
+        expressions rely on)."""
+        self.n += 1
+        return f"_w{self.n}"
+
+    def xgen(self, term: Term) -> str:
+        """*term* as one Python expression, or raise ``NotImplementedError``
+        (abandoning the fast form for this kernel)."""
+        handler = self.xhandlers.get(type(term))
+        if handler is None:
+            return self._x_fallback(term)
+        return handler(self, term)
+
+    def _x_fallback(self, term: Term) -> str:
+        # Same closure-tier escape as the statement form, but the per-row
+        # env dict is built inline as a dict comprehension over prologue-
+        # hoisted (name, column) pairs, with let-bound temps layered on top.
+        sub = self.bind("s", self.compiler._compile(term, self.counter))
+        names = sorted(free_vars(term))
+        scoped = [
+            (name, self._scope[name]) for name in names if name in self._scope
+        ]
+        col_names = tuple(name for name in names if name not in self._scope)
+        if col_names:
+            self.n += 1
+            pairs = f"_sub{self.n}"
+            self.pline(
+                2,
+                f"{pairs} = [(_n, cols[_n]) for _n in {col_names!r} "
+                "if _n in cols]",
+            )
+            env = f"{{_n: _c[_i] for _n, _c in {pairs}}}"
+        else:
+            env = "{}"
+        if scoped:
+            inner = ", ".join(f"{name!r}: {bound}" for name, bound in scoped)
+            env = f"{{**{env}, {inner}}}"
+        return f"{sub}({env})"
+
+    # -- expression-form node emitters --------------------------------------
+
+    def _x_var(self, term: Var) -> str:
+        bound = self._scope.get(term.name)
+        if bound is not None:
+            return bound
+        return f"{self.column(term.name)}[_i]"
+
+    def _x_const(self, term: Const) -> str:
+        # A namespace name, not a repr literal (operands must be names so
+        # `x.__class__` / `x is NULL` stays valid syntax).
+        return self.bind("c", term.value)
+
+    def _x_null(self, term: Null) -> str:
+        return "NULL"
+
+    def _x_param(self, term: Param) -> str:
+        # Raw KeyError on an unbound parameter reruns through the slow
+        # loop, which raises the structured UnboundParameterError.  Kept
+        # lazy (no prologue hoist) so a parameter referenced only in an
+        # untaken If branch stays unread, as on the row path.
+        return f"rt.params[{term.name!r}]"
+
+    def _x_extent(self, term: Extent) -> str:
+        return f"rt.database.extent({term.name!r})"
+
+    def _x_record(self, term: RecordCons) -> str:
+        inner = ", ".join(
+            f"{name!r}: {self.xgen(expr)}" for name, expr in term.fields
+        )
+        return f"Record({{{inner}}})"
+
+    def _x_proj(self, term: Proj) -> str:
+        base = self.xgen(term.expr)
+        t = self.wtemp()
+        attr = term.attr
+        return (
+            f"({t}._fields[{attr!r}] "
+            f"if ({t} := {base}).__class__ is Record "
+            f"and {attr!r} in {t}._fields "
+            f"else _proj_slow({t}, {attr!r}))"
+        )
+
+    def _x_if(self, term: If) -> str:
+        cond = self.xgen(term.cond)
+        t = self.wtemp()
+        then = self.xgen(term.then)
+        orelse = self.xgen(term.orelse)
+        return (
+            f"({then} if ({t} := {cond}) is True else "
+            f"({orelse} if {t} is False or {t} is NULL else _if_miss()))"
+        )
+
+    def _x_let(self, term: Let) -> str:
+        value = self.xgen(term.value)
+        out = self.wtemp()
+        scope = self._scope
+        had = term.var in scope
+        saved = scope.get(term.var)
+        scope[term.var] = out
+        try:
+            body = self.xgen(term.body)
+        finally:
+            if had:
+                scope[term.var] = saved
+            else:
+                del scope[term.var]
+        # Tuple evaluates left to right: bind the temp, then the body.
+        return f"((({out} := ({value})), {body})[1])"
+
+    def _x_not(self, term: Not) -> str:
+        value = self.xgen(term.expr)
+        t = self.wtemp()
+        return (
+            f"(False if ({t} := {value}) is True else "
+            f"(True if {t} is False else "
+            f"(NULL if {t} is NULL else _not_miss())))"
+        )
+
+    def _x_isnull(self, term: IsNull) -> str:
+        return f"(({self.xgen(term.expr)}) is NULL)"
+
+    def _x_binop(self, term: BinOp) -> str:
+        op = term.op
+        if op in ("and", "or"):
+            return self._x_shortcircuit(term)
+        if op not in _SRC_BINOPS:
+            raise NotImplementedError(op)
+        lt = self.wtemp()
+        rt_ = self.wtemp()
+        left = self.xgen(term.left)
+        right = self.xgen(term.right)
+        if op in ("==", "!="):
+            body = (
+                f"({lt} {op} {rt_} "
+                f"if {lt}.__class__ in _SCALARS "
+                f"and {rt_}.__class__ in _SCALARS "
+                f"else identity_key({lt}) {op} identity_key({rt_}))"
+            )
+        else:
+            # Raw operator: ZeroDivisionError / TypeError rerun through
+            # the slow loop, which raises the structured fault.
+            body = f"({lt} {op} {rt_})"
+        # Bitwise `|` forces *both* walruses before the NULL test — the
+        # row tier evaluates both operands before propagating NULL.
+        return (
+            f"(NULL if (({lt} := {left}) is NULL) "
+            f"| (({rt_} := {right}) is NULL) else {body})"
+        )
+
+    def _x_shortcircuit(self, term: BinOp) -> str:
+        lt = self.wtemp()
+        rt_ = self.wtemp()
+        left = self.xgen(term.left)
+        right = self.xgen(term.right)
+        if term.op == "and":
+            # right IS evaluated when left is NULL, as on the row path.
+            return (
+                f"(False if ({lt} := {left}) is False else "
+                f"(NULL if (({rt_} := {right}) is NULL) or {lt} is NULL "
+                f"else {lt} and {rt_}))"
+            )
+        return (
+            f"(True if ({lt} := {left}) is True else "
+            f"(NULL if (({rt_} := {right}) is NULL) or {lt} is NULL "
+            f"else {lt} or {rt_}))"
+        )
+
+
 #: BinOp operators the source tier emits inline (and/or are special-cased).
 _SRC_BINOPS = frozenset(
     ("+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=")
@@ -984,6 +1519,32 @@ _SRC_HANDLERS: dict[type, Callable[..., str]] = {
     IsNull: _SourceEmitter._gen_isnull,
     BinOp: _SourceEmitter._gen_binop,
 }
+
+# The tables hold plain function objects (no dynamic dispatch), so subclass
+# overrides are wired in explicitly: each emitter class carries its own
+# ``handlers`` table and ``gen`` dispatches through it.
+_SourceEmitter.handlers = _SRC_HANDLERS
+_KERNEL_HANDLERS = dict(_SRC_HANDLERS)
+_KERNEL_HANDLERS[Var] = _KernelEmitter._gen_var
+_KERNEL_HANDLERS[Let] = _KernelEmitter._gen_let
+_KernelEmitter.handlers = _KERNEL_HANDLERS
+
+#: Expression-form emitters for the comprehension fast kernel.
+_X_HANDLERS: dict[type, Callable[..., str]] = {
+    Var: _KernelEmitter._x_var,
+    Const: _KernelEmitter._x_const,
+    Null: _KernelEmitter._x_null,
+    Param: _KernelEmitter._x_param,
+    Extent: _KernelEmitter._x_extent,
+    RecordCons: _KernelEmitter._x_record,
+    Proj: _KernelEmitter._x_proj,
+    If: _KernelEmitter._x_if,
+    Let: _KernelEmitter._x_let,
+    Not: _KernelEmitter._x_not,
+    IsNull: _KernelEmitter._x_isnull,
+    BinOp: _KernelEmitter._x_binop,
+}
+_KernelEmitter.xhandlers = _X_HANDLERS
 
 _HANDLERS: dict[type, Callable[[ExprCompiler, Any, _Counter], EvalFn]] = {
     Var: ExprCompiler._compile_var,

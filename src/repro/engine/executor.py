@@ -26,7 +26,9 @@ class OperatorStats:
     ``eval_mode`` records how the operator's expressions executed
     ("compiled", "mixed", "interpreted", or "" for expression-free
     operators); ``eval_ms`` is the wall time spent inside those expression
-    evaluators when profiling was enabled.
+    evaluators when profiling was enabled.  ``batches_produced`` /
+    ``batch_rows`` record the operator's chunked output when it executed
+    on the batch path (both stay 0 for row-mode executions).
     """
 
     operator: str
@@ -34,6 +36,8 @@ class OperatorStats:
     depth: int
     eval_mode: str = ""
     eval_ms: float = 0.0
+    batches_produced: int = 0
+    batch_rows: int = 0
 
 
 @dataclass
@@ -79,6 +83,11 @@ class ExecutionStats:
             lines.append(line)
         for op in self.operators:
             line = f"{'  ' * op.depth}{op.operator}  [rows={op.rows_produced}"
+            if op.batches_produced:
+                line += (
+                    f", batches={op.batches_produced}"
+                    f", batch_rows={op.batch_rows}"
+                )
             if op.eval_mode:
                 line += f", exprs={op.eval_mode}, eval={op.eval_ms:.3f} ms"
             lines.append(line + "]")
@@ -128,7 +137,13 @@ def run_with_stats(
 def _collect(op: PhysicalOperator, depth: int, stats: ExecutionStats) -> None:
     stats.operators.append(
         OperatorStats(
-            op.describe(), op.rows_produced, depth, op.eval_mode(), op.eval_ms
+            op.describe(),
+            op.rows_produced,
+            depth,
+            op.eval_mode(),
+            op.eval_ms,
+            op.batches_produced,
+            op.batch_rows,
         )
     )
     for child in op.children():

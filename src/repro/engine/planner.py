@@ -39,6 +39,7 @@ from repro.algebra.operators import (
 )
 from repro.calculus.evaluator import ExtentProvider
 from repro.calculus.terms import BinOp, Proj, Term, Var, conj, conjuncts, free_vars
+from repro.engine.batch import DEFAULT_BATCH_SIZE
 from repro.engine.compile import ExprCompiler
 from repro.engine.physical import (
     PEval,
@@ -69,6 +70,12 @@ class PlannerOptions:
     #: Lower expression trees to native Python closures (repro.engine.compile)
     #: instead of interpreting the AST per row.
     compiled_exprs: bool = True
+    #: Pass columnar chunks between operators and evaluate expressions with
+    #: tier-3 batch kernels.  Requires ``compiled_exprs``; interpreted runs
+    #: silently stay on the row path.
+    batched_exec: bool = True
+    #: Rows per chunk on the batch path.
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 def plan_physical(
@@ -99,6 +106,8 @@ def plan_physical(
         profile=profile,
         compiler=compiler,
         governor=governor,
+        batched_exec=options.batched_exec,
+        batch_size=options.batch_size,
     )
     return _build(plan, context, options)
 

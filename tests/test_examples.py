@@ -88,3 +88,20 @@ class TestRepl:
         text = self._run(["\\frobnicate", "\\db nowhere"])
         assert "unknown meta-command" in text
         assert "unknown database" in text
+
+    def test_batch_toggle_and_size(self):
+        text = self._run(
+            [
+                "\\batch",
+                "count( select e from e in Employees );",
+                "\\batch 16",
+                "count( select e from e in Employees );",
+                "\\batch nope",
+                "\\quit",
+            ]
+        )
+        assert "\\batch off (batch execution)" in text
+        assert "\\batch on (16 rows per chunk)" in text
+        assert "usage: \\batch" in text
+        # both modes ran the query (two result lines)
+        assert text.count("  60") == 2
