@@ -1,0 +1,13 @@
+"""Alternative execution backends.
+
+The in-memory engine (:mod:`repro.engine`) is the default executor.  This
+package hosts independently-implemented backends selected through
+``OptimizerOptions.backend``; each one is both a production posture (e.g.
+out-of-core data volume) and a differential-oracle surface (an independent
+implementation the fuzzer can disagree with).
+
+Currently:
+
+* :mod:`repro.backends.shred` — query shredding over stdlib ``sqlite3``
+  (``backend="sqlite"``).
+"""

@@ -1,0 +1,1109 @@
+"""The query-shredding SQLite backend (``OptimizerOptions.backend="sqlite"``).
+
+Fegaras' unnesting algebra produces flat join/outer-join/unnest chains
+separated by nest operators — exactly the shape *query shredding* (Cheney,
+Lindley & Wadler, arXiv:1404.7078) translates to a bounded set of flat
+relational queries plus a stitching step.  This module implements that
+translation over the stdlib ``sqlite3`` engine in three layers:
+
+**Shredded storage** (:class:`ShreddedStore`).  Every extent is flattened
+into SQLite tables: one root table per extent keyed by the engine-assigned
+``$oid`` (scalar attributes as columns, nested *records* flattened in place
+with ``$``-joined column prefixes), and one child table per nested
+collection (``Extent$path``) whose rows carry ``$parent`` (the owning row's
+``$oid``) and ``$pos`` (the occurrence index — bag multiplicity and list
+order survive shredding).  The catalog is **data-driven**: shapes are
+inferred from the stored values, not the declared schema (the ``ab`` demo
+database stores plain integers under a record-typed schema).  Anything the
+flat encoding cannot represent faithfully — inheritance hierarchies,
+NULL-valued collection attributes, heterogeneous record shapes, mixed-type
+columns — raises :class:`~repro.errors.BackendUnsupportedError` instead of
+risking silent divergence.  The store is also an ``ExtentProvider``:
+:meth:`ShreddedStore.extent` re-stitches an extent's rows back into the
+original nested values (same OIDs, same collection kinds), which both
+proves the shredding lossless and feeds the residual evaluator below.
+
+**SQL lowering** (:func:`compile_segments`).  Maximal chains of
+scan/select/join/outer-join/unnest/outer-unnest/map operators are compiled
+into **one flat ``SELECT`` per nesting level**: joins become parenthesized
+join trees (inner predicates in ``ON``/``WHERE``, which are equivalent for
+inner joins), outer-joins become ``LEFT JOIN`` with the right side's
+residual filters lifted into the ``ON`` clause (the standard equivalence),
+and (outer-)unnests become joins against the child tables on ``$parent``.
+The translated predicates rely on SQLite's Kleene three-valued logic
+matching the calculus: ``WHERE`` drops NULL predicates exactly as the
+engine treats NULL predicates as false, ``AND``/``OR``/``NOT``/``CASE``
+agree with the evaluator's 3VL, and object equality compares ``$oid``
+columns — the same identity semantics as
+:func:`~repro.data.values.identity_eq`.  Expressions the translation cannot
+prove equivalent (division — SQLite truncates integers and yields NULL on
+zero — parameters, string concatenation, collection-valued terms) are
+simply *not* compiled: the operator stays residual.  Every segment orders
+by the constituent ``$pos`` columns, reproducing the in-memory engine's
+nested-loop enumeration order exactly.
+
+**Stitching** (:class:`_HybridEvaluator`).  The flat result sets are
+stitched back into nested values by the reference plan evaluator: the
+segment rows are decoded into environments (``$oid`` → the rehydrated
+object, so identity is preserved end to end) and every operator *above* a
+segment — in particular ``Nest``, which groups on the paper's O5–O7 keys
+and converts NULL padding to monoid zeros — runs the reference Python
+semantics over them.  This is the shredding paper's stitching phase with
+the repo's own nest operator as the stitcher, so 3VL, identity, and monoid
+semantics match the in-memory engine *by construction*.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.algebra.evaluator import PlanEvaluator
+from repro.algebra.operators import (
+    Join,
+    Map,
+    Operator,
+    OuterJoin,
+    OuterUnnest,
+    Scan,
+    Select,
+    Unnest,
+)
+from repro.calculus.evaluator import Evaluator as TermEvaluator
+from repro.calculus.terms import (
+    BinOp,
+    Const,
+    If,
+    IsNull,
+    Not,
+    Null,
+    Proj,
+    Term,
+    Var,
+)
+from repro.data.database import Database
+from repro.data.values import (
+    NULL,
+    BagValue,
+    CollectionValue,
+    ListValue,
+    Record,
+    SetValue,
+    is_null,
+)
+from repro.errors import BackendUnsupportedError, UnknownExtentError
+
+__all__ = [
+    "ShreddedStore",
+    "shredded_store",
+    "compile_segments",
+    "execute_shredded",
+    "explain_shredded",
+    "shredded_sql",
+]
+
+
+def _q(name: str) -> str:
+    """Quote a SQL identifier (``$oid``-style names and user attributes
+    like ``oid`` both need it)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+# ---------------------------------------------------------------------------
+# Shredded storage
+# ---------------------------------------------------------------------------
+
+
+_SCALAR_TAGS = {bool: "bool", int: "int", float: "float", str: "str"}
+
+
+def _scalar_tag(value: Any) -> str | None:
+    for cls, tag in _SCALAR_TAGS.items():
+        if isinstance(value, bool):
+            return "bool"
+        break
+    return _SCALAR_TAGS.get(type(value))
+
+
+def _merge_tag(a: str | None, b: str) -> str:
+    if a is None or a == b:
+        return b
+    if {a, b} <= {"int", "float", "num"}:
+        return "num"
+    raise BackendUnsupportedError(
+        f"mixed value types in one column ({a} vs {b}) cannot be shredded "
+        "faithfully (SQLite orders across storage classes; the engine "
+        "raises a type error)"
+    )
+
+
+@dataclass
+class _Table:
+    """One flat SQLite table: an extent's root or a lifted nested collection.
+
+    ``columns`` maps scalar attribute paths (``salary``,
+    ``manager$name``) to their value tags; ``records`` is the set of
+    nested-record paths ("" is the element itself for record-shaped
+    tables, each contributing a ``path$oid`` column); ``children`` maps
+    nested-collection paths to their child tables.
+    """
+
+    name: str
+    extent: str  # root extent this table shreds (child tables inherit it)
+    element: str  # "record" | "scalar"
+    kind: str  # set | bag | list
+    child: bool  # has $parent?
+    columns: dict[str, str] = field(default_factory=dict)
+    records: set[str] = field(default_factory=set)
+    children: dict[str, "_Table"] = field(default_factory=dict)
+
+    def oid_column(self, path: str = "") -> str:
+        return "$oid" if path == "" else path + "$oid"
+
+    def value_column(self, path: str) -> str:
+        return "$value" if path == "" else path
+
+    def payload_columns(self) -> list[str]:
+        """The non-structural columns, in deterministic order."""
+        cols = [self.value_column(p) for p in sorted(self.columns)]
+        cols += [self.oid_column(p) for p in sorted(self.records) if p]
+        return sorted(cols)
+
+    def all_columns(self) -> list[str]:
+        structural = ["$oid"] + (["$parent"] if self.child else []) + ["$pos"]
+        return structural + self.payload_columns()
+
+
+def _encode(value: Any) -> Any:
+    if is_null(value):
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def _decode(value: Any, tag: str) -> Any:
+    if value is None:
+        return NULL
+    if tag == "bool":
+        return bool(value)
+    return value
+
+
+class ShreddedStore:
+    """A database's extents shredded into flat in-memory SQLite tables.
+
+    Also an ``ExtentProvider``: :meth:`extent` stitches the flat rows back
+    into the original nested collection values (rehydration), registering
+    every record by OID in :attr:`objects` so SQL segment rows can resolve
+    ``$oid`` columns to the very objects the residual operators iterate.
+    """
+
+    def __init__(self, database: Database):
+        if database.schema.supertypes:
+            raise BackendUnsupportedError(
+                "the SQLite shredding backend does not support inheritance "
+                "hierarchies (extent inclusion would shred objects into "
+                "multiple root tables)"
+            )
+        self._database = database
+        self.connection = sqlite3.connect(":memory:", check_same_thread=False)
+        self.lock = threading.Lock()
+        #: extent name -> root table (only extents that shredded cleanly).
+        self.tables: dict[str, _Table] = {}
+        #: extent name -> refusal reason (never silent: surfaced by extent()).
+        self.refusals: dict[str, str] = {}
+        #: oid -> rehydrated Record (filled lazily per extent).
+        self.objects: dict[int, Record] = {}
+        self._extent_cache: dict[str, CollectionValue] = {}
+        self._next_surrogate = -1
+        for name in database.extent_names():
+            try:
+                self._shred_extent(name)
+            except BackendUnsupportedError as exc:
+                self.refusals[name] = exc.message
+
+    # -- shredding ----------------------------------------------------------
+
+    def _surrogate(self) -> int:
+        oid = self._next_surrogate
+        self._next_surrogate -= 1
+        return oid
+
+    def _shred_extent(self, name: str) -> None:
+        value = self._database.extent(name)
+        kind = _collection_kind(value)
+        table = self._describe(name, name, kind, list(value.elements()), False)
+        self._create(table)
+        self._insert(table, list(value.elements()), None)
+        self.tables[name] = table
+
+    def _describe(
+        self,
+        table_name: str,
+        extent: str,
+        kind: str,
+        elements: list[Any],
+        child: bool,
+    ) -> _Table:
+        table = _Table(table_name, extent, "record", kind, child)
+        present = [e for e in elements if not is_null(e)]
+        records = [e for e in present if isinstance(e, Record)]
+        if records:
+            if len(records) != len(elements):
+                raise BackendUnsupportedError(
+                    f"{table_name}: record-shaped collection mixes records "
+                    "with other elements"
+                )
+            table.records.add("")
+            self._describe_fields(table, "", records)
+            return table
+        scalars = [e for e in present if _scalar_tag(e) is not None]
+        if len(scalars) != len(present):
+            raise BackendUnsupportedError(
+                f"{table_name}: elements are neither records nor scalars"
+            )
+        tag: str | None = None
+        for e in scalars:
+            tag = _merge_tag(tag, _scalar_tag(e))
+        table.element = "scalar"
+        table.columns[""] = tag or "any"
+        return table
+
+    def _describe_fields(
+        self, table: _Table, prefix: str, records: list[Record]
+    ) -> None:
+        attrs = records[0].attributes()
+        if any(r.attributes() != attrs for r in records):
+            raise BackendUnsupportedError(
+                f"{table.name}: heterogeneous record shapes at "
+                f"{prefix or 'the element'!r}"
+            )
+        for attr in attrs:
+            path = f"{prefix}${attr}" if prefix else attr
+            values = [r[attr] for r in records]
+            present = [v for v in values if not is_null(v)]
+            if not present:
+                table.columns[path] = "any"
+                continue
+            if all(_scalar_tag(v) is not None for v in present):
+                tag: str | None = None
+                for v in present:
+                    tag = _merge_tag(tag, _scalar_tag(v))
+                table.columns[path] = tag or "any"
+            elif all(isinstance(v, Record) for v in present):
+                table.records.add(path)
+                self._describe_fields(table, path, present)
+            elif all(isinstance(v, CollectionValue) for v in present):
+                if len(present) != len(values):
+                    raise BackendUnsupportedError(
+                        f"{table.name}: NULL-valued collection attribute "
+                        f"{path!r} (a missing child table cannot distinguish "
+                        "NULL from empty)"
+                    )
+                kinds = {_collection_kind(v) for v in present}
+                if len(kinds) != 1:
+                    raise BackendUnsupportedError(
+                        f"{table.name}: mixed collection kinds at {path!r}"
+                    )
+                nested = [e for v in present for e in v.elements()]
+                table.children[path] = self._describe(
+                    f"{table.name}${path}", table.extent, kinds.pop(), nested,
+                    True,
+                )
+            else:
+                raise BackendUnsupportedError(
+                    f"{table.name}: attribute {path!r} mixes value categories"
+                )
+
+    def _create(self, table: _Table) -> None:
+        cols = ", ".join(_q(c) for c in table.all_columns())
+        self.connection.execute(f"CREATE TABLE {_q(table.name)} ({cols})")
+        if table.child:
+            self.connection.execute(
+                f"CREATE INDEX {_q('ix$' + table.name)} "
+                f"ON {_q(table.name)} ({_q('$parent')})"
+            )
+        for child in table.children.values():
+            self._create(child)
+
+    def _insert(
+        self, table: _Table, elements: list[Any], parent: int | None
+    ) -> None:
+        columns = table.all_columns()
+        sql = (
+            f"INSERT INTO {_q(table.name)} "
+            f"({', '.join(_q(c) for c in columns)}) "
+            f"VALUES ({', '.join('?' for _ in columns)})"
+        )
+        for pos, element in enumerate(elements):
+            row = {c: None for c in columns}
+            row["$pos"] = pos
+            if table.child:
+                row["$parent"] = parent
+            if table.element == "record":
+                oid = element.oid if element.oid is not None else self._surrogate()
+                row["$oid"] = oid
+                self._flatten(table, "", element, row)
+            else:
+                row["$oid"] = self._surrogate()
+                row["$value"] = _encode(element)
+            self.connection.execute(sql, [row[c] for c in columns])
+            for path, child in table.children.items():
+                value = _walk_path(element, path)
+                if value is None or is_null(value):
+                    continue
+                self._insert(child, list(value.elements()), row["$oid"])
+
+    def _flatten(
+        self, table: _Table, prefix: str, record: Record, row: dict
+    ) -> None:
+        for attr in record.attributes():
+            path = f"{prefix}${attr}" if prefix else attr
+            value = record[attr]
+            if path in table.columns:
+                row[table.value_column(path)] = _encode(value)
+            elif path in table.records:
+                if is_null(value):
+                    continue  # the path$oid column stays NULL
+                oid = value.oid if value.oid is not None else self._surrogate()
+                row[table.oid_column(path)] = oid
+                self._flatten(table, path, value, row)
+            # collection paths are handled by the child-table inserts
+
+    # -- rehydration (the ExtentProvider protocol) --------------------------
+
+    def extent(self, name: str) -> CollectionValue:
+        cached = self._extent_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in self.refusals:
+            raise BackendUnsupportedError(
+                f"extent {name!r} was not shredded: {self.refusals[name]}"
+            )
+        table = self.tables.get(name)
+        if table is None:
+            raise UnknownExtentError(
+                f"unknown extent {name!r}; known extents: "
+                f"{sorted(self.tables)}"
+            )
+        elements = self._load(table).get(None, [])
+        value = _make_collection(table.kind, elements)
+        self._extent_cache[name] = value
+        return value
+
+    def ensure_loaded(self, extents: Iterator[str] | tuple[str, ...]) -> None:
+        """Rehydrate the given extents so ``objects`` can resolve their OIDs."""
+        for name in extents:
+            self.extent(name)
+
+    def _load(self, table: _Table) -> dict[int | None, list[Any]]:
+        """All of *table*'s elements, stitched, grouped by ``$parent``."""
+        loaded_children = {
+            path: self._load(child) for path, child in table.children.items()
+        }
+        columns = table.all_columns()
+        order = '"$parent", "$pos"' if table.child else '"$pos"'
+        sql = (
+            f"SELECT {', '.join(_q(c) for c in columns)} "
+            f"FROM {_q(table.name)} ORDER BY {order}"
+        )
+        grouped: dict[int | None, list[Any]] = {}
+        with self.lock:
+            rows = self.connection.execute(sql).fetchall()
+        for values in rows:
+            row = dict(zip(columns, values))
+            parent = row.get("$parent")
+            if table.element == "record":
+                element = self._stitch_record(table, "", row, loaded_children)
+            else:
+                element = _decode(row["$value"], table.columns[""])
+            grouped.setdefault(parent, []).append(element)
+        return grouped
+
+    def _stitch_record(
+        self,
+        table: _Table,
+        prefix: str,
+        row: dict,
+        loaded_children: dict[str, dict[int | None, list[Any]]],
+    ) -> Any:
+        oid = row[table.oid_column(prefix)]
+        if oid is None:
+            return NULL
+        fields: dict[str, Any] = {}
+        for path, tag in table.columns.items():
+            attr = _direct_attr(prefix, path)
+            if attr is not None:
+                fields[attr] = _decode(row[table.value_column(path)], tag)
+        for path in table.records:
+            attr = _direct_attr(prefix, path)
+            if attr is not None:
+                fields[attr] = self._stitch_record(
+                    table, path, row, loaded_children
+                )
+        row_oid = row["$oid"]
+        for path, child in table.children.items():
+            attr = _direct_attr(prefix, path)
+            if attr is not None:
+                elements = loaded_children[path].get(row_oid, [])
+                fields[attr] = _make_collection(child.kind, elements)
+        record = Record(fields)
+        if oid >= 0:
+            record = record.with_oid(oid)
+            self.objects[oid] = record
+        return record
+
+
+def _direct_attr(prefix: str, path: str) -> str | None:
+    """The attribute name when *path* is a direct field of *prefix*."""
+    if prefix:
+        if not path.startswith(prefix + "$"):
+            return None
+        rest = path[len(prefix) + 1 :]
+    else:
+        rest = path
+    return rest if rest and "$" not in rest else None
+
+
+def _collection_kind(value: CollectionValue) -> str:
+    if isinstance(value, SetValue):
+        return "set"
+    if isinstance(value, BagValue):
+        return "bag"
+    if isinstance(value, ListValue):
+        return "list"
+    raise BackendUnsupportedError(
+        f"unknown collection kind {type(value).__name__}"
+    )
+
+
+def _make_collection(kind: str, elements: list[Any]) -> CollectionValue:
+    if kind == "set":
+        return SetValue(elements)
+    if kind == "bag":
+        return BagValue(elements)
+    return ListValue(elements)
+
+
+def _walk_path(element: Any, path: str) -> Any | None:
+    """Navigate ``a$b$c`` through nested records; None when unreachable."""
+    value = element
+    for attr in path.split("$"):
+        if is_null(value) or not isinstance(value, Record):
+            return None
+        value = value[attr]
+    return value
+
+
+#: One shredded store per database, invalidated on schema changes.  Weak so
+#: a dropped database releases its SQLite image.
+_STORES: "weakref.WeakKeyDictionary[Database, tuple[int, ShreddedStore]]" = (
+    weakref.WeakKeyDictionary()
+)
+_STORES_LOCK = threading.Lock()
+
+
+def shredded_store(database: Database) -> ShreddedStore:
+    """The (cached) shredded image of *database*.
+
+    Rebuilt whenever ``schema_version`` changes, mirroring the plan cache's
+    staleness rule.
+    """
+    with _STORES_LOCK:
+        entry = _STORES.get(database)
+        if entry is not None and entry[0] == database.schema_version:
+            return entry[1]
+    store = ShreddedStore(database)
+    with _STORES_LOCK:
+        _STORES[database] = (database.schema_version, store)
+    return store
+
+
+# ---------------------------------------------------------------------------
+# SQL lowering: expression translation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SqlExpr:
+    """A translated scalar expression: SQL text plus a value tag.
+
+    ``tag`` is a value-type tag (``int``/``float``/``num``/``str``/
+    ``bool``/``any``/``null``) or ``object`` — in which case ``sql`` is the
+    ``$oid`` column, the identity the engine's ``=`` compares.
+    """
+
+    sql: str
+    tag: str
+
+
+@dataclass
+class _VarBind:
+    """How one range variable is realized inside a SQL segment."""
+
+    kind: str  # "record" | "scalar" | "expr"
+    alias: str = ""
+    table: _Table | None = None
+    expr: _SqlExpr | None = None
+
+
+_NUMERIC = frozenset(("int", "float", "num", "bool"))
+
+
+def _comparable(a: str, b: str) -> bool:
+    if "any" in (a, b) or "null" in (a, b):
+        return True  # a NULL operand yields NULL on both backends
+    return (a in _NUMERIC and b in _NUMERIC) or (a == "str" and b == "str")
+
+
+def _literal(value: Any) -> _SqlExpr | None:
+    if isinstance(value, bool):
+        return _SqlExpr("1" if value else "0", "bool")
+    if isinstance(value, int):
+        return _SqlExpr(str(value), "int")
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return None  # SQLite has no literal NaN/inf
+        return _SqlExpr(repr(value), "float")
+    if isinstance(value, str):
+        if "\x00" in value:
+            return None
+        return _SqlExpr("'" + value.replace("'", "''") + "'", "str")
+    return None
+
+
+def _sql_expr(term: Term, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
+    """Translate a calculus term to SQL, or None when no faithful
+    translation exists (the caller falls back to residual Python).
+
+    Deliberately untranslated: ``/`` and ``%`` (SQLite truncates integer
+    division and yields NULL on zero where the engine raises a structured
+    error), parameters (bound per execution, after segment compilation),
+    string concatenation, and anything collection- or record-constructing.
+    """
+    if isinstance(term, Const):
+        return _literal(term.value)
+    if isinstance(term, Null):
+        return _SqlExpr("NULL", "null")
+    if isinstance(term, (Var, Proj)):
+        return _resolve_path(term, binds)
+    if isinstance(term, IsNull):
+        inner = _sql_expr(term.expr, binds)
+        if inner is None:
+            return None
+        return _SqlExpr(f"({inner.sql} IS NULL)", "bool")
+    if isinstance(term, Not):
+        inner = _sql_expr(term.expr, binds)
+        if inner is None or inner.tag not in ("bool", "any", "null"):
+            return None
+        return _SqlExpr(f"(NOT {inner.sql})", "bool")
+    if isinstance(term, If):
+        cond = _sql_expr(term.cond, binds)
+        then = _sql_expr(term.then, binds)
+        orelse = _sql_expr(term.orelse, binds)
+        if cond is None or then is None or orelse is None:
+            return None
+        if "object" in (cond.tag, then.tag, orelse.tag):
+            return None
+        # SQL CASE takes ELSE on a NULL condition, matching the calculus.
+        return _SqlExpr(
+            f"(CASE WHEN {cond.sql} THEN {then.sql} ELSE {orelse.sql} END)",
+            _result_tag(then.tag, orelse.tag),
+        )
+    if isinstance(term, BinOp):
+        return _sql_binop(term, binds)
+    return None
+
+
+def _result_tag(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if a in ("null", "any"):
+        return b
+    if b in ("null", "any"):
+        return a
+    if a in _NUMERIC and b in _NUMERIC:
+        return "float" if "float" in (a, b) else "num"
+    return "any"
+
+
+def _sql_binop(term: BinOp, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
+    left = _sql_expr(term.left, binds)
+    right = _sql_expr(term.right, binds)
+    if left is None or right is None:
+        return None
+    op = term.op
+    if op in ("and", "or"):
+        if left.tag not in ("bool", "any", "null"):
+            return None
+        if right.tag not in ("bool", "any", "null"):
+            return None
+        # The reference evaluator is *left-biased*, not Kleene: a NULL left
+        # operand yields NULL even when the right operand would decide
+        # (``NULL and False`` is NULL; SQLite's Kleene AND gives False, and
+        # likewise ``NULL or True``).  The right-operand cases agree —
+        # ``False and NULL`` short-circuits to False on both — so guarding
+        # the left operand with a CASE restores exact parity.
+        return _SqlExpr(
+            f"(CASE WHEN ({left.sql}) IS NULL THEN NULL "
+            f"ELSE {left.sql} {op.upper()} {right.sql} END)",
+            "bool",
+        )
+    if op in ("==", "!="):
+        sql_op = "=" if op == "==" else "<>"
+        if left.tag == "object" or right.tag == "object":
+            # Object equality is OID equality (identity semantics).  A
+            # mixed object/scalar comparison is rejected by the typechecker;
+            # don't guess at it here.
+            if {left.tag, right.tag} <= {"object", "null"}:
+                return _SqlExpr(f"({left.sql} {sql_op} {right.sql})", "bool")
+            return None
+        if not _comparable(left.tag, right.tag):
+            return None
+        return _SqlExpr(f"({left.sql} {sql_op} {right.sql})", "bool")
+    if op in ("<", "<=", ">", ">="):
+        if "object" in (left.tag, right.tag):
+            return None
+        if not _comparable(left.tag, right.tag):
+            return None
+        return _SqlExpr(f"({left.sql} {op} {right.sql})", "bool")
+    if op in ("+", "-", "*"):
+        if left.tag not in _NUMERIC and left.tag != "null":
+            return None
+        if right.tag not in _NUMERIC and right.tag != "null":
+            return None
+        return _SqlExpr(
+            f"({left.sql} {op} {right.sql})", _result_tag(left.tag, right.tag)
+        )
+    return None  # "/" and "%" stay residual by design
+
+
+def _resolve_path(term: Term, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
+    """A variable or projection chain as a SQL column reference."""
+    attrs: list[str] = []
+    while isinstance(term, Proj):
+        attrs.append(term.attr)
+        term = term.expr
+    if not isinstance(term, Var):
+        return None
+    bind = binds.get(term.name)
+    if bind is None:
+        return None
+    if bind.kind == "expr":
+        return bind.expr if not attrs else None
+    table = bind.table
+    assert table is not None
+    if bind.kind == "scalar":
+        if attrs:
+            return None  # projecting a scalar is an engine-side error
+        return _SqlExpr(
+            f"{bind.alias}.{_q(table.value_column(''))}", table.columns[""]
+        )
+    if not attrs:
+        return _SqlExpr(f"{bind.alias}.{_q(table.oid_column())}", "object")
+    path = "$".join(reversed(attrs))
+    if path in table.columns:
+        return _SqlExpr(
+            f"{bind.alias}.{_q(table.value_column(path))}", table.columns[path]
+        )
+    if path in table.records:
+        return _SqlExpr(f"{bind.alias}.{_q(table.oid_column(path))}", "object")
+    return None  # a collection path or an attribute the catalog lacks
+
+
+# ---------------------------------------------------------------------------
+# SQL lowering: operator chains
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Chain:
+    """A partially built flat SELECT: FROM tree, filters, and bindings."""
+
+    from_sql: str
+    where: list[str]
+    binds: dict[str, _VarBind]
+    tables: list[tuple[str, _Table]]  # (alias, table) in enumeration order
+    uses_table: bool = True
+
+
+@dataclass
+class _Segment:
+    """One compiled flat query covering a subtree of the logical plan."""
+
+    sql: str
+    #: Per-output-column decode instructions: (var, kind, tag).
+    decoders: tuple[tuple[str, str, str], ...]
+    #: Root extents whose objects the decoded rows reference.
+    extents: tuple[str, ...]
+
+
+class _SegmentBuilder:
+    """Compiles maximal operator subtrees into flat SELECT statements."""
+
+    def __init__(self, store: ShreddedStore):
+        self._store = store
+
+    def build(self, plan: Operator) -> _Segment | None:
+        counter = [0]
+        chain = self._chain(plan, counter)
+        if chain is None or not chain.uses_table:
+            return None
+        return self._finalize(plan, chain)
+
+    # -- chain construction --------------------------------------------------
+
+    def _alias(self, counter: list[int]) -> str:
+        alias = f"t{counter[0]}"
+        counter[0] += 1
+        return alias
+
+    def _chain(self, plan: Operator, counter: list[int]) -> _Chain | None:
+        if isinstance(plan, Scan):
+            return self._chain_scan(plan, counter)
+        if isinstance(plan, Select):
+            return self._chain_select(plan, counter)
+        if isinstance(plan, Map):
+            return self._chain_map(plan, counter)
+        if isinstance(plan, (Join, OuterJoin)):
+            return self._chain_join(plan, counter)
+        if isinstance(plan, (Unnest, OuterUnnest)):
+            return self._chain_unnest(plan, counter)
+        return None
+
+    def _chain_scan(self, plan: Scan, counter: list[int]) -> _Chain | None:
+        table = self._store.tables.get(plan.extent)
+        if table is None:
+            return None
+        alias = self._alias(counter)
+        kind = "record" if table.element == "record" else "scalar"
+        return _Chain(
+            from_sql=f"{_q(table.name)} {alias}",
+            where=[],
+            binds={plan.var: _VarBind(kind, alias, table)},
+            tables=[(alias, table)],
+        )
+
+    def _chain_select(self, plan: Select, counter: list[int]) -> _Chain | None:
+        chain = self._chain(plan.child, counter)
+        if chain is None:
+            return None
+        pred = _sql_expr(plan.pred, chain.binds)
+        if pred is None:
+            return None
+        chain.where.append(pred.sql)
+        return chain
+
+    def _chain_map(self, plan: Map, counter: list[int]) -> _Chain | None:
+        chain = self._chain(plan.child, counter)
+        if chain is None:
+            return None
+        for name, expr in plan.bindings:
+            compiled = _sql_expr(expr, chain.binds)
+            if compiled is None:
+                return None
+            chain.binds[name] = _VarBind("expr", expr=compiled)
+        return chain
+
+    def _chain_join(
+        self, plan: Join | OuterJoin, counter: list[int]
+    ) -> _Chain | None:
+        left = self._chain(plan.left, counter)
+        if left is None:
+            return None
+        right = self._chain(plan.right, counter)
+        if right is None:
+            return None
+        binds = {**left.binds, **right.binds}
+        on: list[str] = []
+        if plan.pred != Const(True):
+            pred = _sql_expr(plan.pred, binds)
+            if pred is None:
+                return None
+            on.append(pred.sql)
+        if isinstance(plan, OuterJoin):
+            # The right side's filters must join the ON clause: a LEFT JOIN
+            # pads left rows whose partners fail them, exactly as O5 pads
+            # when the predicate fails.
+            on.extend(right.where)
+            where = left.where
+            keyword = "LEFT JOIN"
+        else:
+            where = left.where + right.where
+            keyword = "JOIN"
+        condition = " AND ".join(on) if on else "1"
+        return _Chain(
+            from_sql=(
+                f"({left.from_sql} {keyword} {right.from_sql} ON {condition})"
+            ),
+            where=where,
+            binds=binds,
+            tables=left.tables + right.tables,
+        )
+
+    def _chain_unnest(
+        self, plan: Unnest | OuterUnnest, counter: list[int]
+    ) -> _Chain | None:
+        chain = self._chain(plan.child, counter)
+        if chain is None:
+            return None
+        resolved = self._collection(plan.path, chain.binds)
+        if resolved is None:
+            return None
+        parent_alias, parent_table, child = resolved
+        alias = self._alias(counter)
+        kind = "record" if child.element == "record" else "scalar"
+        binds = dict(chain.binds)
+        binds[plan.var] = _VarBind(kind, alias, child)
+        on = [
+            f"{alias}.{_q('$parent')} = "
+            f"{parent_alias}.{_q(parent_table.oid_column())}"
+        ]
+        if plan.pred != Const(True):
+            pred = _sql_expr(plan.pred, binds)
+            if pred is None:
+                return None
+            # O6 pads when no element *satisfies the predicate*, which is
+            # precisely LEFT JOIN with the predicate in the ON clause.
+            on.append(pred.sql)
+        keyword = "LEFT JOIN" if isinstance(plan, OuterUnnest) else "JOIN"
+        return _Chain(
+            from_sql=(
+                f"({chain.from_sql} {keyword} {_q(child.name)} {alias} "
+                f"ON {' AND '.join(on)})"
+            ),
+            where=chain.where,
+            binds=binds,
+            tables=chain.tables + [(alias, child)],
+        )
+
+    def _collection(
+        self, path: Term, binds: Mapping[str, _VarBind]
+    ) -> tuple[str, _Table, _Table] | None:
+        """Resolve an unnest path to (parent alias, parent table, child)."""
+        attrs: list[str] = []
+        while isinstance(path, Proj):
+            attrs.append(path.attr)
+            path = path.expr
+        if not isinstance(path, Var) or not attrs:
+            return None
+        bind = binds.get(path.name)
+        if bind is None or bind.kind != "record":
+            return None
+        assert bind.table is not None
+        child = bind.table.children.get("$".join(reversed(attrs)))
+        if child is None:
+            return None
+        return bind.alias, bind.table, child
+
+    # -- SELECT assembly -----------------------------------------------------
+
+    def _finalize(self, plan: Operator, chain: _Chain) -> _Segment:
+        select: list[str] = []
+        decoders: list[tuple[str, str, str]] = []
+        for position, var in enumerate(plan.columns()):
+            bind = chain.binds[var]
+            if bind.kind == "record":
+                assert bind.table is not None
+                expr = f"{bind.alias}.{_q(bind.table.oid_column())}"
+                decoders.append((var, "object", ""))
+            elif bind.kind == "scalar":
+                assert bind.table is not None
+                expr = f"{bind.alias}.{_q(bind.table.value_column(''))}"
+                decoders.append((var, "scalar", bind.table.columns[""]))
+            else:
+                assert bind.expr is not None
+                expr = bind.expr.sql
+                decoders.append((var, "scalar", bind.expr.tag))
+            select.append(f"{expr} AS c{position}")
+        # Ordering by every constituent $pos reproduces the in-memory
+        # engine's nested-loop enumeration order (padded rows sort first
+        # within their left row, which is also the only row it has).
+        order = ", ".join(
+            f"{alias}.{_q('$pos')}" for alias, _ in chain.tables
+        )
+        sql = f"SELECT {', '.join(select)} FROM {chain.from_sql}"
+        if chain.where:
+            sql += f" WHERE {' AND '.join(chain.where)}"
+        sql += f" ORDER BY {order}"
+        extents = tuple(
+            dict.fromkeys(table.extent for _, table in chain.tables)
+        )
+        return _Segment(sql, tuple(decoders), extents)
+
+
+def compile_segments(
+    plan: Operator, store: ShreddedStore
+) -> dict[int, _Segment]:
+    """Maximal SQL-translatable subtrees of *plan*, keyed by node ``id``.
+
+    The walk is top-down greedy: the largest subtree that fully translates
+    becomes one flat SELECT; anything that refuses (nest operators, residual
+    expressions, refused extents) stays Python, and the search recurses into
+    its children — so a plan degrades gracefully from "one flat query per
+    nesting level" down to per-scan queries, never failing outright.
+    """
+    builder = _SegmentBuilder(store)
+    segments: dict[int, _Segment] = {}
+
+    def visit(node: Operator) -> None:
+        if isinstance(
+            node, (Scan, Select, Map, Join, OuterJoin, Unnest, OuterUnnest)
+        ):
+            segment = builder.build(node)
+            if segment is not None:
+                segments[id(node)] = segment
+                return
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# Execution: SQL segments + residual reference semantics
+# ---------------------------------------------------------------------------
+
+
+class _HybridEvaluator(PlanEvaluator):
+    """The stitching evaluator: SQL segments below, reference Python above.
+
+    Operators covered by a compiled segment stream decoded SQLite rows;
+    every other operator — ``Nest`` (the stitcher), ``Reduce``, and any
+    operator whose expressions stayed residual — runs the inherited
+    reference semantics over the shredded store's rehydrated extents.
+    Identity, 3VL, and monoid behavior therefore match the in-memory
+    engine by construction.
+    """
+
+    def __init__(
+        self,
+        store: ShreddedStore,
+        segments: Mapping[int, _Segment],
+        params: Mapping[str, Any] | None = None,
+        governor: Any | None = None,
+    ):
+        super().__init__(store)
+        # Residual terms need parameter values and governor ticks; the
+        # base class builds its term evaluator with neither.
+        self._terms = TermEvaluator(store, params, governor)
+        self._store = store
+        self._segments = segments
+        self._governor = governor
+        #: (sql, rows, milliseconds) per executed flat query.
+        self.flat_queries: list[tuple[str, int, float]] = []
+
+    def stream(self, plan: Operator) -> Iterator[dict[str, Any]]:
+        segment = self._segments.get(id(plan))
+        if segment is None:
+            return super().stream(plan)
+        return self._stream_segment(segment)
+
+    def _stream_segment(self, segment: _Segment) -> Iterator[dict[str, Any]]:
+        store = self._store
+        store.ensure_loaded(segment.extents)
+        start = time.perf_counter()
+        with store.lock:
+            rows = store.connection.execute(segment.sql).fetchall()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.flat_queries.append((segment.sql, len(rows), elapsed_ms))
+        governor = self._governor
+        tick = governor.tick if governor is not None else None
+        objects = store.objects
+        decoders = segment.decoders
+        for row in rows:
+            self.steps += 1
+            if tick is not None:
+                tick()
+            env: dict[str, Any] = {}
+            for (var, kind, tag), value in zip(decoders, row):
+                if value is None:
+                    env[var] = NULL
+                elif kind == "object":
+                    env[var] = objects[value]
+                else:
+                    env[var] = bool(value) if tag == "bool" else value
+            yield env
+
+
+def execute_shredded(
+    compiled: Any,
+    database: Database,
+    params: Mapping[str, Any] | None = None,
+    governor: Any | None = None,
+    flat_queries: list | None = None,
+) -> Any:
+    """Run a :class:`~repro.core.pipeline.CompiledQuery` on the SQLite
+    backend; *flat_queries* (when given) collects (sql, rows, ms) tuples."""
+    if compiled.optimized is None:
+        raise BackendUnsupportedError(
+            "backend='sqlite' requires an unnested algebraic plan "
+            "(compile with unnest=True)"
+        )
+    store = shredded_store(database)
+    segments = compile_segments(compiled.optimized, store)
+    evaluator = _HybridEvaluator(store, segments, params, governor)
+    result = evaluator.evaluate(compiled.optimized)
+    if flat_queries is not None:
+        flat_queries.extend(evaluator.flat_queries)
+    return result
+
+
+def explain_shredded(compiled: Any, database: Database) -> str:
+    """An EXPLAIN rendering: the operator tree with each compiled subtree's
+    generated flat SQL, and ``[py]`` markers on residual operators."""
+    if compiled.optimized is None:
+        raise BackendUnsupportedError(
+            "backend='sqlite' requires an unnested algebraic plan "
+            "(compile with unnest=True)"
+        )
+    store = shredded_store(database)
+    segments = compile_segments(compiled.optimized, store)
+    lines = ["backend: sqlite (query shredding over stdlib sqlite3)"]
+
+    def visit(node: Operator, depth: int) -> None:
+        indent = "  " * depth
+        segment = segments.get(id(node))
+        if segment is not None:
+            lines.append(f"{indent}[sql] {type(node).__name__} subtree:")
+            lines.append(f"{indent}      {segment.sql}")
+            return
+        lines.append(f"{indent}[py]  {type(node).__name__}")
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(compiled.optimized, 0)
+    return "\n".join(lines)
+
+
+def shredded_sql(database: Database, source: str) -> list[str]:
+    """The flat SQL statements the backend generates for *source*, in plan
+    pre-order (the golden-SQL test surface)."""
+    from repro.core.optimizer import OptimizerOptions
+    from repro.core.pipeline import QueryPipeline
+
+    pipeline = QueryPipeline(database, OptimizerOptions(backend="sqlite"))
+    compiled = pipeline.compile_oql(source)
+    if compiled.optimized is None:  # pragma: no cover - unnest is on
+        return []
+    store = shredded_store(database)
+    segments = compile_segments(compiled.optimized, store)
+    statements: list[str] = []
+
+    def visit(node: Operator) -> None:
+        segment = segments.get(id(node))
+        if segment is not None:
+            statements.append(segment.sql)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(compiled.optimized)
+    return statements

@@ -11,7 +11,9 @@ The interactive shell accepts OQL queries terminated by a semicolon and the
 meta-commands ``\\plan``, ``\\explain``, ``\\trace``, ``\\calculus``,
 ``\\stages`` (toggle per-query output), ``\\cache`` (plan-cache statistics),
 ``\\compile`` (toggle expression codegen), ``\\batch`` (toggle batch
-execution; ``\\batch N`` sets the rows-per-chunk), ``\\limits``
+execution; ``\\batch N`` sets the rows-per-chunk), ``\\backend``
+(switch between the in-memory engine and the SQLite shredding backend;
+``\\backend sqlite``), ``\\limits``
 (show/set per-query governor limits, e.g.
 ``\\limits timeout=1.0 max_rows=100000``),
 ``\\db <name>`` (switch database), and ``\\quit``.
@@ -128,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per chunk on the batch path (default 1024)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help=(
+            "execution backend: the in-memory reference engine, or query "
+            "shredding over stdlib sqlite3 (flat SELECTs + stitching)"
+        ),
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -237,6 +248,7 @@ def run_query(
     timeout: float | None = None,
     max_rows: int | None = None,
     max_bytes: int | None = None,
+    backend: str = "memory",
     optimizer: Optimizer | None = None,
     params: dict[str, Any] | None = None,
     out=None,
@@ -252,6 +264,7 @@ def run_query(
             timeout=timeout,
             max_rows=max_rows,
             max_bytes=max_bytes,
+            backend=backend,
         )
         if batch_size is not None:
             from dataclasses import replace as _replace
@@ -274,7 +287,12 @@ def run_query(
         print("plan:", file=out)
         print(pretty_plan(compiled.optimized), file=out)
     if show_explain and compiled.optimized is not None:
-        print("physical plan:", file=out)
+        label = (
+            "shredded plan:"
+            if compiled.options.backend == "sqlite"
+            else "physical plan:"
+        )
+        print(label, file=out)
         print(compiled.explain(db), file=out)
 
     start = time.perf_counter()
@@ -359,8 +377,8 @@ def repl(db_name: str, out=None) -> None:
         f"repro OQL shell — database '{db_name}' ({db!r}).\n"
         "End queries with ';' (views: 'define <name> as <query>;').\n"
         "Meta: \\plan \\explain \\trace \\calculus \\stages \\cache "
-        "\\compile \\batch \\limits \\set name=value \\params \\views "
-        "\\db <name> \\quit",
+        "\\compile \\batch \\backend \\limits \\set name=value \\params "
+        "\\views \\db <name> \\quit",
         file=out,
     )
     buffer: list[str] = []
@@ -428,6 +446,29 @@ def repl(db_name: str, out=None) -> None:
                 )
                 state = "on" if optimizer.options.batched_exec else "off"
                 print(f"\\batch {state} (batch execution)", file=out)
+                continue
+            if command == "backend":
+                from dataclasses import replace as _replace
+
+                if argument:
+                    # ``\backend NAME`` selects it; a bare ``\backend``
+                    # toggles between memory and sqlite.
+                    name = argument.strip().lower()
+                    if name not in ("memory", "sqlite"):
+                        print(
+                            "usage: \\backend (toggle) or "
+                            "\\backend memory|sqlite",
+                            file=out,
+                        )
+                        continue
+                else:
+                    name = (
+                        "sqlite"
+                        if optimizer.options.backend == "memory"
+                        else "memory"
+                    )
+                optimizer.options = _replace(optimizer.options, backend=name)
+                print(f"\\backend {name}", file=out)
                 continue
             if command == "limits":
                 _repl_limits(optimizer, argument, out)
@@ -628,6 +669,7 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.timeout,
             max_rows=args.max_rows,
             max_bytes=args.max_bytes,
+            backend=args.backend,
             params=params,
         )
     except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes

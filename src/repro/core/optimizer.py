@@ -103,6 +103,12 @@ class OptimizerOptions:
     timeout: float | None = None
     max_rows: int | None = None
     max_bytes: int | None = None
+    #: Execution backend.  ``"memory"`` is the reference in-memory engine;
+    #: ``"sqlite"`` shreds extents into flat SQLite tables and lowers
+    #: join/unnest chains of the unnested plan to flat SELECTs
+    #: (repro.backends.shred), stitching results back with the reference
+    #: nest semantics.  Requires ``unnest=True``.
+    backend: str = "memory"
 
 
 # ---------------------------------------------------------------------------

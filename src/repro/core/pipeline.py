@@ -301,7 +301,18 @@ class CompiledQuery:
         try:
             values = self._merged_params(params)
             governor = self.make_governor(cancel_token)
-            if self.optimized is None:
+            if self.options.backend == "sqlite":
+                from repro.backends.shred import execute_shredded
+
+                result = execute_shredded(
+                    self, database, values, governor=governor
+                )
+            elif self.options.backend != "memory":
+                raise PlanningError(
+                    f"unknown backend {self.options.backend!r}; "
+                    "expected 'memory' or 'sqlite'"
+                )
+            elif self.optimized is None:
                 # Naive nested-loop evaluation of the calculus form.
                 result = Evaluator(
                     database, values, governor=governor
@@ -358,7 +369,12 @@ class CompiledQuery:
         )
 
     def explain(self, database: Database) -> str:
-        """An EXPLAIN-style report of the physical plan."""
+        """An EXPLAIN-style report of the physical plan (or, on the SQLite
+        backend, the operator tree with the generated flat SQL)."""
+        if self.options.backend == "sqlite":
+            from repro.backends.shred import explain_shredded
+
+            return explain_shredded(self, database)
         return self.physical(database).explain()
 
     def explain_stages(self) -> str:
@@ -679,7 +695,31 @@ class QueryPipeline:
         try:
             values = compiled._merged_params(params)
             governor = compiled.make_governor(cancel_token)
-            if compiled.optimized is None:
+            if compiled.options.backend == "sqlite":
+                from repro.backends.shred import execute_shredded
+
+                flat_queries: list = []
+                start = time.perf_counter()
+                result = execute_shredded(
+                    compiled,
+                    self.database,
+                    values,
+                    governor=governor,
+                    flat_queries=flat_queries,
+                )
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                stats = ExecutionStats(
+                    result=result,
+                    elapsed_ms=elapsed_ms,
+                    backend="sqlite",
+                    flat_queries=flat_queries,
+                )
+            elif compiled.options.backend != "memory":
+                raise PlanningError(
+                    f"unknown backend {compiled.options.backend!r}; "
+                    "expected 'memory' or 'sqlite'"
+                )
+            elif compiled.optimized is None:
                 start = time.perf_counter()
                 result = Evaluator(
                     self.database, values, governor=governor

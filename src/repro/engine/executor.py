@@ -62,14 +62,30 @@ class ExecutionStats:
     #: operators.  Both stay 0 when the execution ran ungoverned.
     governor_ticks: int = 0
     governor_peak_bytes: int = 0
+    #: Which backend ran the query ("memory" or "sqlite").
+    backend: str = "memory"
+    #: On the SQLite backend: one (sql, rows, milliseconds) entry per flat
+    #: query the shredding translation executed.
+    flat_queries: list = field(default_factory=list)
 
     @property
     def total_rows(self) -> int:
+        # Backends without per-operator tracing (sqlite) report the
+        # result's own cardinality instead of summed operator output.
+        if not self.operators:
+            try:
+                return len(self.result)
+            except TypeError:
+                return 1
         return sum(op.rows_produced for op in self.operators)
 
     def report(self) -> str:
         """An EXPLAIN ANALYZE style rendering."""
         lines = [f"execution: {self.elapsed_ms:.3f} ms, {self.total_rows} rows"]
+        if self.backend != "memory":
+            lines[0] += f" (backend={self.backend})"
+        for sql, rows, ms in self.flat_queries:
+            lines.append(f"flat query: {rows} rows, {ms:.3f} ms :: {sql}")
         if self.cache_hits or self.cache_misses:
             source = "cached plan" if self.from_cache else "fresh compile"
             lines[0] += (

@@ -13,7 +13,11 @@ The hierarchy::
     QueryError
     ├── PlanningError            parse / translate / typecheck / rewrite
     │   ├── TypeCheckError       T1–T9 violation, names the subterm
-    │   └── UnknownExtentError   name does not resolve against the schema
+    │   ├── UnknownExtentError   name does not resolve against the schema
+    │   └── BackendUnsupportedError
+    │                            the selected execution backend refuses the
+    │                            query or database (e.g. the SQLite shredding
+    │                            backend on a schema it cannot flatten)
     ├── ExecutionError           runtime failure in a well-typed plan
     │   └── GovernorError        a resource limit tripped
     │       ├── QueryTimeout     wall-clock deadline exceeded
@@ -37,6 +41,7 @@ __all__ = [
     "PlanningError",
     "TypeCheckError",
     "UnknownExtentError",
+    "BackendUnsupportedError",
     "ExecutionError",
     "GovernorError",
     "QueryTimeout",
@@ -125,6 +130,19 @@ class UnknownExtentError(PlanningError, KeyError):
     # KeyError.__str__ repr-quotes its argument; QueryError's wins via MRO,
     # but be explicit so the contract is pinned rather than incidental.
     __str__ = QueryError.__str__
+
+
+class BackendUnsupportedError(PlanningError):
+    """The selected execution backend cannot run this query or database.
+
+    Raised by alternative backends (``OptimizerOptions.backend``) on
+    constructs they refuse rather than risk silently diverging from the
+    reference semantics — e.g. the SQLite shredding backend on a schema
+    with inheritance, or a database whose extents it cannot flatten.  The
+    query itself is fine: re-running with ``backend="memory"`` succeeds.
+    The differential oracle treats this error as a *skip* (counted, never
+    silent), not a disagreement.
+    """
 
 
 class ExecutionError(QueryError):

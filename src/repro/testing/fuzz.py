@@ -80,6 +80,9 @@ class FuzzReport:
     agreed_ok: int = 0
     #: Samples where every path failed (also agreement — e.g. type errors).
     agreed_error: int = 0
+    #: Path-level skips: a backend refused a sample with a typed
+    #: BackendUnsupportedError.  Counted (never silent) but not findings.
+    path_skips: int = 0
     findings: list[Finding] = field(default_factory=list)
 
     @property
@@ -91,6 +94,7 @@ class FuzzReport:
             f"{self.iterations} iterations: "
             f"{self.agreed_ok} agreed, "
             f"{self.agreed_error} agreed-on-error, "
+            f"{self.path_skips} path skip(s), "
             f"{len(self.findings)} finding(s)"
         ]
         lines.extend(finding.describe() for finding in self.findings)
@@ -192,6 +196,7 @@ def run_fuzz(config: FuzzConfig, progress: Progress | None = None) -> FuzzReport
     for iteration in range(config.iterations):
         source, params, db = generate_sample(config, iteration)
         verdict = check_sample(source, params, db)
+        report.path_skips += len(verdict.skipped)
         if verdict.agreed:
             if verdict.reference.ok:
                 report.agreed_ok += 1

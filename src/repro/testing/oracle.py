@@ -28,12 +28,25 @@ that: it runs a query through *every* path the repo can execute —
   must be served from the plan cache and still agree;
 * ``param-roundtrip`` — the source with every literal replaced by a
   placeholder (:func:`repro.oql.params.parameterize_literals`), executed
-  with the literals re-supplied as bind values —
+  with the literals re-supplied as bind values;
+* ``sqlite-shredded`` — the query-shredding SQLite backend
+  (:mod:`repro.backends.shred`): extents flattened into SQLite tables,
+  join/unnest chains lowered to flat SELECTs, results stitched back — an
+  *independently implemented* executor for the same semantics;
+* ``sqlite-shredded-cached-plan`` — the SQLite backend again, from a
+  plan-cache hit (the shredded store is also cached; both caches must
+  stay coherent) —
 
 and compares the outcomes.  A query that *fails* identically everywhere
 (e.g. a type error) counts as agreement; a query that succeeds on some
 paths and fails on others, or succeeds with different values, is a
 disagreement — exactly the bug class differential testing exists to catch.
+
+One exception: a backend may *refuse* a query or database it cannot run
+faithfully by raising :class:`~repro.errors.BackendUnsupportedError`.  The
+oracle records that as a **skip** — counted and reported, never silent —
+rather than a disagreement, because a refusal is the designed alternative
+to diverging.
 """
 
 from __future__ import annotations
@@ -45,7 +58,7 @@ from repro.algebra.evaluator import evaluate_plan
 from repro.calculus.evaluator import evaluate
 from repro.calculus.terms import Const, Null, Param, Term, transform
 from repro.calculus.typing import infer_type
-from repro.errors import QueryError
+from repro.errors import BackendUnsupportedError, QueryError
 from repro.core.normalization import prepare
 from repro.core.pipeline import QueryPipeline
 from repro.core.unnesting import _uniquify, unnest
@@ -78,10 +91,15 @@ class PathOutcome:
     value: Any = None
     error: str = ""
     structured: bool = True
+    #: The path refused the query with BackendUnsupportedError: counted as
+    #: a skip (neither agreement evidence nor a disagreement), never silent.
+    skipped: bool = False
 
     def describe(self) -> str:
         if self.ok:
             return f"{self.path}: {self.value!r}"
+        if self.skipped:
+            return f"{self.path}: SKIPPED {self.error}"
         leak = "" if self.structured else " (RAW LEAK)"
         return f"{self.path}: ERROR{leak} {self.error}"
 
@@ -97,14 +115,20 @@ class OracleVerdict:
     def reference(self) -> PathOutcome:
         return self.outcomes[0]
 
+    @property
+    def skipped(self) -> list[PathOutcome]:
+        """Paths that refused this query (BackendUnsupportedError)."""
+        return [outcome for outcome in self.outcomes if outcome.skipped]
+
     def disagreements(self) -> list[PathOutcome]:
         """The outcomes that differ from the reference path, plus any
-        pipeline path that leaked a raw (unstructured) exception."""
+        pipeline path that leaked a raw (unstructured) exception.
+        Skipped paths (typed backend refusals) are not disagreements."""
         reference = self.reference
         differing = [
             outcome
             for outcome in self.outcomes[1:]
-            if not _outcomes_match(reference, outcome)
+            if not outcome.skipped and not _outcomes_match(reference, outcome)
         ]
         leaks = [
             outcome
@@ -248,6 +272,20 @@ def _path_param_roundtrip(
     return QueryPipeline(db).run_oql(parameterized, **merged)
 
 
+def _path_sqlite_cached(
+    source: str, params: Mapping[str, Any], db: Database
+) -> Any:
+    from repro.core.optimizer import OptimizerOptions
+
+    pipeline = QueryPipeline(db, OptimizerOptions(backend="sqlite"))
+    pipeline.run_oql(source, **dict(params))  # populate plan + store caches
+    hits_before = pipeline.plan_cache.hits
+    result = pipeline.run_oql(source, **dict(params))
+    if pipeline.plan_cache.hits != hits_before + 1:  # pragma: no cover
+        raise AssertionError("second execution was not served from the plan cache")
+    return result
+
+
 #: Paths that execute outside ``QueryPipeline.run_oql`` and therefore make
 #: no promise about structured errors (the pipeline paths do).
 RAW_PATHS = frozenset(
@@ -275,6 +313,11 @@ PATHS: tuple[tuple[str, Callable[[str, Mapping[str, Any], Database], Any]], ...]
     ),
     ("pipeline-cached", _path_pipeline_cached),
     ("param-roundtrip", _path_param_roundtrip),
+    # An independently implemented executor: query shredding over stdlib
+    # sqlite3 (flat SELECTs + Python stitching).  May *skip* (typed
+    # BackendUnsupportedError) on databases it cannot flatten.
+    ("sqlite-shredded", _pipeline_path(backend="sqlite")),
+    ("sqlite-shredded-cached-plan", _path_sqlite_cached),
 )
 
 
@@ -296,6 +339,7 @@ def run_all_paths(
                     False,
                     error=f"{type(exc).__name__}: {exc}",
                     structured=structured,
+                    skipped=isinstance(exc, BackendUnsupportedError),
                 )
             )
     return outcomes
@@ -315,6 +359,7 @@ def check_sample(
     outcomes = run_all_paths(source, params, db)
     reference = outcomes[0]
     agreed = all(
-        _outcomes_match(reference, other) for other in outcomes[1:]
+        outcome.skipped or _outcomes_match(reference, outcome)
+        for outcome in outcomes[1:]
     ) and all(outcome.structured for outcome in outcomes)
     return OracleVerdict(agreed, outcomes)
