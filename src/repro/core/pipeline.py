@@ -50,6 +50,7 @@ from repro.engine.compile import ExprCompiler
 from repro.engine.cost import CostModel
 from repro.engine.executor import ExecutionStats, run_with_stats
 from repro.engine.governor import CancelToken, Governor
+from repro.engine.exchange import PGather
 from repro.engine.planner import PlannerOptions, plan_physical
 from repro.engine.physical import PEval, PReduce, PhysicalOperator
 from repro.errors import ExecutionError, PlanningError, QueryError
@@ -74,6 +75,8 @@ def _planner_options(options: "OptimizerOptions") -> PlannerOptions:
         compiled_exprs=options.compiled_exprs,
         batched_exec=options.batched_exec,
         batch_size=options.batch_size,
+        parallel=options.parallel,
+        num_workers=options.num_workers,
     )
 
 
@@ -319,7 +322,7 @@ class CompiledQuery:
                 ).evaluate(self.prepared)
             else:
                 physical = self.physical(database, values, governor=governor)
-                assert isinstance(physical, (PReduce, PEval))
+                assert isinstance(physical, (PReduce, PEval, PGather))
                 result = physical.value()
             if self.order_by:
                 result = _apply_order(result, self.order_by, database, values)

@@ -195,27 +195,39 @@ class CollectionValue:
 
 
 class SetValue(CollectionValue):
-    """An immutable set — the carrier of the paper's set monoid (∪, {})."""
+    """An immutable set — the carrier of the paper's set monoid (∪, {}).
 
-    __slots__ = ("_items",)
+    Elements iterate in first-insertion order, *not* Python hash order:
+    extent scans (and everything downstream of them — join probe order,
+    group first-seen order, bag results built from set extents) are
+    therefore deterministic across processes regardless of
+    ``PYTHONHASHSEED``.  Equality, hashing, and membership remain
+    order-insensitive; only iteration order is pinned.
+    """
+
+    __slots__ = ("_items", "_order")
 
     def __init__(self, items: Iterable[Any] = ()):
-        object.__setattr__(self, "_items", frozenset(items))
+        # dict.fromkeys dedups by the same ==/hash as frozenset and keeps
+        # the first occurrence, so value semantics are unchanged.
+        ordered = dict.fromkeys(items)
+        object.__setattr__(self, "_order", tuple(ordered))
+        object.__setattr__(self, "_items", frozenset(ordered))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("SetValue is immutable")
 
     def elements(self) -> Iterator[Any]:
-        return iter(self._items)
+        return iter(self._order)
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._order)
 
     def __contains__(self, value: Any) -> bool:
         return value in self._items
 
     def union(self, other: "SetValue") -> "SetValue":
-        return SetValue(self._items | other._items)
+        return SetValue(self._order + other._order)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SetValue):

@@ -54,6 +54,11 @@ class Chunk:
     @classmethod
     def from_envs(cls, envs: list[Env]) -> "Chunk":
         """Build a chunk from a non-empty list of same-keyed environments."""
+        if not envs:
+            raise ValueError(
+                "Chunk.from_envs requires at least one row: chunks are "
+                "never empty (producers must skip the yield instead)"
+            )
         names = list(envs[0])
         columns = {name: [env[name] for env in envs] for name in names}
         return cls(columns, len(envs))
@@ -72,6 +77,11 @@ def chunk_rows(rows: Iterator[Env], size: int) -> Iterator[Chunk]:
     until the rows already buffered have been yielded as a partial chunk,
     then re-raised — matching the row path, where a consumer sees every
     row that preceded the failure (and may stop pulling before it).
+
+    Every row must bind exactly the columns of the first row.  A key-set
+    mismatch raises ``ValueError`` immediately (no partial-chunk flush):
+    it is an operator bug, not a data error — silently dropping extra
+    keys or raising an opaque ``KeyError`` both hide the real problem.
     """
     names: list[str] = []
     columns: dict[str, list] | None = None
@@ -89,8 +99,19 @@ def chunk_rows(rows: Iterator[Env], size: int) -> Iterator[Chunk]:
         if columns is None:
             names = list(env)
             columns = {name: [] for name in names}
-        for name in names:
-            columns[name].append(env[name])
+        if len(env) != len(names):
+            raise ValueError(
+                f"chunk_rows: row binds columns {sorted(env)} but the "
+                f"stream started with {sorted(names)}"
+            )
+        try:
+            for name in names:
+                columns[name].append(env[name])
+        except KeyError:
+            raise ValueError(
+                f"chunk_rows: row binds columns {sorted(env)} but the "
+                f"stream started with {sorted(names)}"
+            ) from None
         count += 1
         if count >= size:
             yield Chunk(columns, count)

@@ -16,6 +16,7 @@ from repro.algebra.operators import Operator
 from repro.calculus.evaluator import ExtentProvider
 from repro.engine.compile import ExprCompiler
 from repro.engine.planner import PlannerOptions, plan_physical
+from repro.engine.exchange import PGather
 from repro.engine.physical import PEval, PReduce, PhysicalOperator
 
 
@@ -137,7 +138,7 @@ def run_with_stats(
         compiler=compiler,
         governor=governor,
     )
-    if not isinstance(physical, (PReduce, PEval)):
+    if not isinstance(physical, (PReduce, PEval, PGather)):
         raise TypeError("a complete plan must be rooted at Reduce or Eval")
     start = time.perf_counter()
     result = physical.value()

@@ -26,8 +26,15 @@ local — no method call; deadline and cancellation checks — the expensive
 parts, a clock read and an ``Event`` load — run once per ``tick_interval``
 units.
 
-A :class:`Governor` is created per execution and never shared between
-threads; the :class:`CancelToken` is the only cross-thread handle.
+A :class:`Governor` is created per execution.  By default it is owned by
+one thread and its counters are plain attributes.  Parallel execution
+(:mod:`repro.engine.exchange`) shares one governor across all partition
+workers so budgets bound the *query*, not each worker: the exchange layer
+calls :meth:`~Governor.enable_sharing` first, which routes every
+mutating path (``tick``/``tick_many``/``charge``/``release``/``check``)
+through a lock.  Workers still amortize via local counters and
+:meth:`~Governor.batch`, so the lock is taken once per settle — measured
+overhead stays ~0%.  The :class:`CancelToken` is thread-safe either way.
 """
 
 from __future__ import annotations
@@ -144,6 +151,7 @@ class Governor:
         "checkpoints",
         "_deadline",
         "_next_check",
+        "_lock",
     )
 
     def __init__(
@@ -168,6 +176,27 @@ class Governor:
         self.checkpoints = 0
         self._deadline = None if timeout is None else time.monotonic() + timeout
         self._next_check = self._schedule(0)
+        self._lock: threading.Lock | None = None
+
+    def enable_sharing(self) -> None:
+        """Make the counters safe to share across worker threads.
+
+        Idempotent.  After this call every mutating path settles under a
+        single lock; with workers batching locally (see :meth:`batch`)
+        the lock is acquired once per up-to-``tick_interval`` units, so
+        the amortized cost is unchanged.  Under sharing the row budget
+        still trips promptly — within one in-flight local batch *per
+        worker* of the budget being crossed (the single-thread contract
+        is "within one batch"; concurrency adds at most the other
+        workers' in-flight batches before everyone observes the trip).
+        """
+        if self._lock is None:
+            self._lock = threading.Lock()
+
+    @property
+    def shared(self) -> bool:
+        """Whether :meth:`enable_sharing` has been called."""
+        return self._lock is not None
 
     def _schedule(self, ticks: int) -> int:
         """The tick count at which the next checkpoint must run.
@@ -185,9 +214,16 @@ class Governor:
 
         The common case is an increment and a comparison; limits are
         checked on the amortized schedule."""
-        self.ticks += 1
-        if self.ticks >= self._next_check:
-            self._checkpoint()
+        lock = self._lock
+        if lock is None:
+            self.ticks += 1
+            if self.ticks >= self._next_check:
+                self._checkpoint()
+            return
+        with lock:
+            self.ticks += 1
+            if self.ticks >= self._next_check:
+                self._checkpoint()
 
     def batch(self) -> int:
         """How many work units a loop may count locally before it must
@@ -201,13 +237,28 @@ class Governor:
 
     def tick_many(self, units: int) -> None:
         """Settle *units* locally-counted work units (see :meth:`batch`)."""
-        if units:
+        if not units:
+            return
+        lock = self._lock
+        if lock is None:
+            self.ticks += units
+            if self.ticks >= self._next_check:
+                self._checkpoint()
+            return
+        with lock:
             self.ticks += units
             if self.ticks >= self._next_check:
                 self._checkpoint()
 
     def charge(self, nbytes: int) -> None:
         """Charge *nbytes* of buffered memory (blocking operators only)."""
+        lock = self._lock
+        if lock is None:
+            return self._charge(nbytes)
+        with lock:
+            return self._charge(nbytes)
+
+    def _charge(self, nbytes: int) -> None:
         self.bytes_charged += nbytes
         if self.bytes_charged > self.peak_bytes:
             self.peak_bytes = self.bytes_charged
@@ -221,11 +272,20 @@ class Governor:
 
     def release(self, nbytes: int) -> None:
         """Return *nbytes* previously charged (a buffer was dropped)."""
-        self.bytes_charged = max(0, self.bytes_charged - nbytes)
+        lock = self._lock
+        if lock is None:
+            self.bytes_charged = max(0, self.bytes_charged - nbytes)
+            return
+        with lock:
+            self.bytes_charged = max(0, self.bytes_charged - nbytes)
 
     def check(self) -> None:
         """Force a full limit check now (used between pipeline stages)."""
-        self._checkpoint()
+        lock = self._lock
+        if lock is None:
+            return self._checkpoint()
+        with lock:
+            return self._checkpoint()
 
     def _checkpoint(self) -> None:
         self.checkpoints += 1

@@ -1350,7 +1350,7 @@ class PHashNest(PhysicalOperator):
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def _build_groups(self) -> list[tuple[Env, Any]]:
+    def _accumulate_rows(self, raw: bool = False):
         monoid = self.monoid
         merge = monoid.merge
         head_fn = self._head_fn
@@ -1361,6 +1361,10 @@ class PHashNest(PhysicalOperator):
         order: list[tuple[Any, ...]] = []
         group_envs: dict[tuple[Any, ...], Env] = {}
         collection = isinstance(monoid, CollectionMonoid)
+        # Raw mode (exchange workers) buffers primitive-monoid heads as
+        # element lists too, so the coordinator can replay the serial fold
+        # over the cross-partition merge instead of reassociating carriers.
+        use_list = collection or raw
         lift = monoid.lift
         charge = self._context.charge_fn()
         buffered = 0
@@ -1376,7 +1380,7 @@ class PHashNest(PhysicalOperator):
                 # Collection groups accumulate into a plain list and build
                 # the collection once at the end (per-row immutable merges
                 # would copy the accumulator every row).
-                groups[key] = [] if collection else monoid.zero
+                groups[key] = [] if use_list else monoid.zero
                 order.append(key)
                 group_envs[key] = {col: env[col] for col in group_by}
             if null_vars and any(env[col] is NULL for col in null_vars):
@@ -1384,8 +1388,8 @@ class PHashNest(PhysicalOperator):
             if not holds(env):
                 continue
             value = head_fn(env)
-            if collection:
-                if charge is not None:
+            if use_list:
+                if collection and charge is not None:
                     if not buffered & _STRIDE_MASK:
                         # Sampled: one value charges for its whole stride.
                         charge(estimate_bytes(value) * SAMPLE_STRIDE)
@@ -1393,16 +1397,12 @@ class PHashNest(PhysicalOperator):
                 groups[key].append(value)
             elif value is not NULL:
                 groups[key] = merge(groups[key], lift(value))
-        if collection:
-            fold = monoid.fold_elements
-            return [(group_envs[key], fold(groups[key])) for key in order]
-        finalize = monoid.finalize
-        return [(group_envs[key], finalize(groups[key])) for key in order]
+        return order, groups, group_envs
 
-    def _build_groups_batched(self, pred_kernel, head_kernel) -> list:
+    def _accumulate_batched(self, pred_kernel, head_kernel, raw: bool = False):
         """The batch-mode grouping build: kernels over child chunks.
 
-        Mirrors :meth:`_build_groups` decision for decision — group
+        Mirrors :meth:`_accumulate_rows` decision for decision — group
         creation for *every* row (before null-var/predicate filtering),
         NULL heads skipped only for primitive monoids, stream-order
         merging — with the head kernel run once per chunk over the
@@ -1419,6 +1419,7 @@ class PHashNest(PhysicalOperator):
         order: list[Any] = []
         group_envs: dict[Any, Env] = {}
         collection = isinstance(monoid, CollectionMonoid)
+        use_list = collection or raw
         single = group_by[0] if len(group_by) == 1 else None
         trivial = pred_kernel.trivial_true
         for chunk in self.child.batches():
@@ -1453,7 +1454,7 @@ class PHashNest(PhysicalOperator):
                 keys = [()] * limit
             for i, key in enumerate(keys):
                 if key not in groups:
-                    groups[key] = [] if collection else monoid.zero
+                    groups[key] = [] if use_list else monoid.zero
                     order.append(key)
                     group_envs[key] = {col: cols[col][i] for col in group_by}
             # Rows surviving the null-var and predicate filters, in order.
@@ -1493,13 +1494,40 @@ class PHashNest(PhysicalOperator):
                     picked = picked[:t]
                 for value, i in zip(values, picked):
                     key = keys[i]
-                    if collection:
+                    if use_list:
                         groups[key].append(value)
                     elif value is not NULL:
                         groups[key] = merge(groups[key], lift(value))
             if err is not None:
                 raise err
-        if collection:
+        return order, groups, group_envs
+
+    def accumulate(self, raw: bool = False):
+        """Partition-local grouping state, for the exchange layer.
+
+        Returns ``(order, groups, group_envs)``: the first-seen key order,
+        the per-key accumulators, and the per-key group environments.
+        Collection-monoid accumulators are plain element lists (stream
+        order, unfolded); primitive ones are pre-finalize carriers, or —
+        with ``raw=True`` — element lists as well, so a coordinator can
+        merge lists across partitions and replay the serial NULL-skipping
+        fold instead of reassociating carriers (which would perturb float
+        results).  The caller merges states in partition order and
+        finalizes once via :meth:`finalize_groups` or its own fold.  Mode
+        selection matches :meth:`_groups`.
+        """
+        context = self._context
+        head_kernel = context.kernel(self.head)
+        if head_kernel is None or context.charge_fn() is not None:
+            return self._accumulate_rows(raw)
+        return self._accumulate_batched(
+            context.pred_kernel(self.pred), head_kernel, raw
+        )
+
+    def finalize_groups(self, order, groups, group_envs) -> list:
+        """Fold/finalize accumulators into ``(group_env, value)`` rows."""
+        monoid = self.monoid
+        if isinstance(monoid, CollectionMonoid):
             fold = monoid.fold_elements
             return [(group_envs[key], fold(groups[key])) for key in order]
         finalize = monoid.finalize
@@ -1508,14 +1536,7 @@ class PHashNest(PhysicalOperator):
     def _groups(self) -> list:
         """The memoized grouped rows, built by whichever mode applies."""
         if self._group_rows is None:
-            context = self._context
-            head_kernel = context.kernel(self.head)
-            if head_kernel is None or context.charge_fn() is not None:
-                self._group_rows = self._build_groups()
-            else:
-                self._group_rows = self._build_groups_batched(
-                    context.pred_kernel(self.pred), head_kernel
-                )
+            self._group_rows = self.finalize_groups(*self.accumulate())
         return self._group_rows
 
     def rows(self) -> Iterator[Env]:
@@ -1669,6 +1690,37 @@ class PReduce(PhysicalOperator):
             if err is not None:
                 raise err
         return self._account(monoid.finalize(result))
+
+    def partial_value(self) -> list:
+        """The partition-local element list, for the exchange workers.
+
+        Returns this partition's head values over the predicate-surviving
+        rows, in stream order, NULLs included (the serial primitive fold
+        skips them at merge time; the coordinator replays that exact fold
+        over the partition-order concatenation, so float arithmetic and
+        collection order match serial execution bit for bit under range
+        partitioning).  Quantifier roots (some/all) never reach here —
+        the planner keeps short-circuiting queries serial.  No result
+        accounting happens here; the gather root owns it.
+        """
+        if self._context.batched:
+            head_kernel = self._context.kernel(self.head)
+            if head_kernel is not None:
+                return self._partial_batched(
+                    head_kernel, self._context.pred_kernel(self.pred)
+                )
+        head_fn = self._head_fn
+        holds = self._holds
+        return [head_fn(env) for env in self.child.rows() if holds(env)]
+
+    def _partial_batched(self, head_kernel, pred_kernel) -> list:
+        elements: list = []
+        for chunk in self.child.batches():
+            values, err = self._chunk_heads(chunk, head_kernel, pred_kernel)
+            elements.extend(values)
+            if err is not None:
+                raise err
+        return elements
 
     def _account(self, result: Any) -> Any:
         # EXPLAIN ANALYZE accounting: the root "produces" the result — one

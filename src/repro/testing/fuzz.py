@@ -124,6 +124,11 @@ def check_fault_injection(
     3. the same query re-run on an unlimited pipeline still matches the
        reference semantics — a tripped budget must not leave partial
        results anywhere.
+
+    The same budget also runs through the parallel exchange layer (3
+    workers sharing the governor), where the properties extend to: the
+    outcome category is interleaving-independent, and the worker pool
+    drains fully even when a budget trips mid-query.
     """
     from repro.core.optimizer import OptimizerOptions
     from repro.core.pipeline import QueryPipeline
@@ -154,6 +159,46 @@ def check_fault_injection(
         violations.append(
             f"fault injection not deterministic: first run {first!r}, "
             f"second run {second!r} (max_rows={budget})"
+        )
+    # The same budget through the parallel exchange layer: a trip must
+    # surface as the same structured error with every worker drained, and
+    # the outcome category must not depend on thread interleaving.  (The
+    # category may legitimately differ from the serial run's — broadcast
+    # join sides re-tick per worker, a documented over-accounting — so the
+    # two runs compared here are both parallel.)
+    import threading
+
+    baseline_threads = threading.active_count()
+    par_limited = QueryPipeline(
+        db, OptimizerOptions(max_rows=budget, parallel=True, num_workers=3)
+    )
+
+    def run_par_limited() -> str:
+        try:
+            par_limited.run_oql(source, **dict(params))
+            return "ok"
+        except GovernorError:
+            return "tripped"
+        except QueryError:
+            return "error"
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            violations.append(
+                f"parallel fault injection (max_rows={budget}) leaked a raw "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return "leak"
+
+    par_first = run_par_limited()
+    par_second = run_par_limited()
+    if "leak" not in (par_first, par_second) and par_first != par_second:
+        violations.append(
+            f"parallel fault injection not deterministic: first run "
+            f"{par_first!r}, second run {par_second!r} (max_rows={budget})"
+        )
+    if threading.active_count() > baseline_threads:
+        violations.append(
+            f"parallel fault injection leaked worker threads: "
+            f"{threading.active_count()} alive, baseline {baseline_threads}"
         )
     # Clean-state probe: unlimited re-execution must match the reference.
     try:

@@ -311,6 +311,12 @@ PATHS: tuple[tuple[str, Callable[[str, Mapping[str, Any], Database], Any]], ...]
         "pipeline-no-opt",
         _pipeline_path(simplify=False, algebraic=False, reorder_joins=False),
     ),
+    # Exchange-style partitioned execution (repro.engine.exchange): the
+    # driving scan splits across 3 workers and the root merges in
+    # partition order.  Differential against serial, this pins the whole
+    # decomposition/merge layer — plans that do not partition silently run
+    # serial, which is itself part of the contract under test.
+    ("pipeline-parallel-exec", _pipeline_path(parallel=True, num_workers=3)),
     ("pipeline-cached", _path_pipeline_cached),
     ("param-roundtrip", _path_param_roundtrip),
     # An independently implemented executor: query shredding over stdlib

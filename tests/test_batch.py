@@ -77,6 +77,26 @@ class TestChunkRows:
         assert chunk.env_at(2) == envs[2]
         assert list(chunk.envs()) == envs
 
+    def test_from_envs_rejects_empty_input(self):
+        # Chunks are never empty: a producer with nothing to emit must skip
+        # the yield, not construct a zero-row chunk a kernel would choke on.
+        with pytest.raises(ValueError, match="at least one row"):
+            Chunk.from_envs([])
+
+    def test_key_set_mismatch_fails_loud_on_missing_column(self):
+        rows = iter([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        stream = chunk_rows(rows, 10)
+        with pytest.raises(ValueError, match="binds columns"):
+            list(stream)
+
+    def test_key_set_mismatch_fails_loud_on_extra_column(self):
+        # Same column count but different names must not silently borrow
+        # the first row's schema.
+        rows = iter([{"a": 1}, {"a": 2, "b": 3}])
+        stream = chunk_rows(rows, 10)
+        with pytest.raises(ValueError, match="binds columns"):
+            list(stream)
+
 
 # ---------------------------------------------------------------------------
 # Tier-3 kernels: a full operator/value sweep against the row closures
@@ -177,9 +197,7 @@ class TestNullQueries:
 class TestErrorTruncation:
     def _db(self, values) -> Database:
         # A *list* extent: these tests pin down where in the scan order the
-        # fault sits relative to the witness, and set extents iterate in
-        # identity-key hash order — which varies with PYTHONHASHSEED, not
-        # insertion order.
+        # fault sits relative to the witness.
         db = Database()
         db.add_extent("N", [Record(v=v) for v in values], kind="list")
         return db
