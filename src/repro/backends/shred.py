@@ -42,24 +42,53 @@ simply *not* compiled: the operator stays residual.  Every segment orders
 by the constituent ``$pos`` columns, reproducing the in-memory engine's
 nested-loop enumeration order exactly.
 
+**Aggregation pushdown** (the same :func:`compile_segments`).  The paper's
+O4/O7 reduce/nest operators lower into SQL instead of stitching whenever
+their monoid has an exact SQL rendering: ``sum``/``max``/``avg``/``all``/
+``some`` (and ``min`` at a segment root) become ``GROUP BY`` + aggregate
+expressions over a ``CASE``-guarded contribution — NULL padding from
+outer-joins and failed predicates contribute ``NULL``, which every SQL
+aggregate skips, reproducing the calculus' null-to-zero conversion — and
+first-seen group order is preserved by ``ROW_NUMBER()`` over the chain's
+``$pos`` ordering, grouped as ``MIN("$rn")``.  A lowered ``Nest`` can feed
+further joins and nests as a derived table (record keys pass their payload
+columns through under ``k<i>$`` prefixes), so stacked aggregations become
+*one* SQL statement.  ``Nest`` with a collection monoid compiles to a
+single level-ordered query merged back in one linear pass.  Anything
+outside this fragment (``prod``, parameters, collection heads under
+grouping) falls back to stitching, exactly as before.
+
 **Stitching** (:class:`_HybridEvaluator`).  The flat result sets are
 stitched back into nested values by the reference plan evaluator: the
 segment rows are decoded into environments (``$oid`` → the rehydrated
 object, so identity is preserved end to end) and every operator *above* a
-segment — in particular ``Nest``, which groups on the paper's O5–O7 keys
-and converts NULL padding to monoid zeros — runs the reference Python
-semantics over them.  This is the shredding paper's stitching phase with
-the repo's own nest operator as the stitcher, so 3VL, identity, and monoid
-semantics match the in-memory engine *by construction*.
+segment — residual expressions, refused extents, non-lowerable monoids —
+runs the reference Python semantics over them.  This is the shredding
+paper's stitching phase with the repo's own nest operator as the stitcher,
+so 3VL, identity, and monoid semantics match the in-memory engine *by
+construction*.  Execution is governed inside SQLite itself: a progress
+handler ticks the shared governor every few thousand VM opcodes, so
+timeouts, budgets, and cancellation trip mid-``SELECT``.
+
+**Out-of-core storage**.  ``ShreddedStore(db_path=...)`` shreds to a file
+instead of ``:memory:`` (WAL journal, file-backed temp store, bounded page
+cache), records a fingerprint manifest (layout version, schema version,
+per-extent value digests) plus the JSON catalog, and on reopen reuses the
+existing shred when the fingerprint still matches — extents larger than
+memory execute out of core with the working set bounded by
+``cache_size``.  Join columns discovered at lowering time get indexes on
+demand, and ``ANALYZE`` keeps the SQLite planner's estimates honest.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import sqlite3
 import threading
 import time
 import weakref
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -67,14 +96,18 @@ from repro.algebra.evaluator import PlanEvaluator
 from repro.algebra.operators import (
     Join,
     Map,
+    Nest,
     Operator,
     OuterJoin,
     OuterUnnest,
+    Reduce,
     Scan,
+    Seed,
     Select,
     Unnest,
 )
 from repro.calculus.evaluator import Evaluator as TermEvaluator
+from repro.calculus.monoids import CollectionMonoid, monoid as lookup_monoid
 from repro.calculus.terms import (
     BinOp,
     Const,
@@ -96,7 +129,12 @@ from repro.data.values import (
     SetValue,
     is_null,
 )
-from repro.errors import BackendUnsupportedError, UnknownExtentError
+from repro.errors import (
+    BackendUnsupportedError,
+    ExecutionError,
+    GovernorError,
+    UnknownExtentError,
+)
 
 __all__ = [
     "ShreddedStore",
@@ -112,6 +150,19 @@ def _q(name: str) -> str:
     """Quote a SQL identifier (``$oid``-style names and user attributes
     like ``oid`` both need it)."""
     return '"' + name.replace('"', '""') + '"'
+
+
+#: Rows fetched (and governor-ticked) per batch while draining a cursor.
+_FETCH_BATCH = 1024
+#: SQLite VM opcodes between governor checkpoints mid-SELECT.
+_PROGRESS_OPCODES = 2000
+#: Default page-cache budget (KiB) for file-backed stores; the rest of the
+#: working set stays on disk, which is the whole point of out-of-core mode.
+_FILE_CACHE_KIB = 16384
+#: Bumped whenever the flat encoding changes; part of the file manifest's
+#: fingerprint so a stale layout re-shreds instead of misreading.
+_LAYOUT_VERSION = 2
+_MANIFEST_TABLE = "repro$manifest"
 
 
 # ---------------------------------------------------------------------------
@@ -204,7 +255,12 @@ class ShreddedStore:
     ``$oid`` columns to the very objects the residual operators iterate.
     """
 
-    def __init__(self, database: Database):
+    def __init__(
+        self,
+        database: Database,
+        db_path: str | None = None,
+        cache_kib: int | None = None,
+    ):
         if database.schema.supertypes:
             raise BackendUnsupportedError(
                 "the SQLite shredding backend does not support inheritance "
@@ -212,7 +268,15 @@ class ShreddedStore:
                 "multiple root tables)"
             )
         self._database = database
-        self.connection = sqlite3.connect(":memory:", check_same_thread=False)
+        self.db_path = db_path
+        if cache_kib is None and db_path is not None:
+            cache_kib = _FILE_CACHE_KIB
+        self.cache_kib = cache_kib
+        self.connection = sqlite3.connect(
+            db_path or ":memory:", check_same_thread=False
+        )
+        # Autocommit; shredding wraps itself in an explicit transaction.
+        self.connection.isolation_level = None
         self.lock = threading.Lock()
         #: extent name -> root table (only extents that shredded cleanly).
         self.tables: dict[str, _Table] = {}
@@ -220,13 +284,188 @@ class ShreddedStore:
         self.refusals: dict[str, str] = {}
         #: oid -> rehydrated Record (filled lazily per extent).
         self.objects: dict[int, Record] = {}
+        #: True when a file-backed store reused an existing shred via the
+        #: manifest fingerprint instead of re-shredding.
+        self.reused = False
         self._extent_cache: dict[str, CollectionValue] = {}
         self._next_surrogate = -1
-        for name in database.extent_names():
-            try:
-                self._shred_extent(name)
-            except BackendUnsupportedError as exc:
-                self.refusals[name] = exc.message
+        self._join_indexed: set[tuple[str, str]] = set()
+        #: Monotonic nonce for governed statements (see _execute).
+        self._governed_nonce = 0
+        #: (plan id, pushdown) -> (plan, segments).  The strong plan
+        #: reference keeps ``id()`` from being recycled while the entry
+        #: lives; plan-cache hits then skip re-lowering entirely.
+        self._segment_cache: dict[tuple[int, bool], tuple[Any, dict]] = {}
+        self._configure_pragmas()
+        if db_path is not None:
+            fingerprint = self._fingerprint()
+            if self._try_reuse(fingerprint):
+                self.reused = True
+            else:
+                self._reset_file()
+                self._shred_all()
+                self._write_manifest(fingerprint)
+        else:
+            self._shred_all()
+        self.connection.execute("ANALYZE")
+
+    # -- connection / file management ---------------------------------------
+
+    def _configure_pragmas(self) -> None:
+        execute = self.connection.execute
+        if self.db_path is not None:
+            # Streaming-friendly file mode: WAL keeps readers unblocked,
+            # NORMAL sync is durable enough for a rebuildable cache, and a
+            # file-backed temp store lets sorts/group-bys spill to disk.
+            execute("PRAGMA journal_mode=WAL")
+            execute("PRAGMA synchronous=NORMAL")
+            execute("PRAGMA temp_store=FILE")
+            execute("PRAGMA busy_timeout=5000")
+        if self.cache_kib is not None:
+            execute(f"PRAGMA cache_size=-{int(self.cache_kib)}")
+
+    def _shred_all(self) -> None:
+        self.connection.execute("BEGIN IMMEDIATE")
+        try:
+            for name in self._database.extent_names():
+                try:
+                    self._shred_extent(name)
+                except BackendUnsupportedError as exc:
+                    self.refusals[name] = exc.message
+            self.connection.execute("COMMIT")
+        except BaseException:
+            self.connection.execute("ROLLBACK")
+            raise
+
+    def _fingerprint(self) -> str:
+        """A value-based digest of the database: layout + schema versions
+        plus a per-extent CRC over canonical element reprs.  Deliberately
+        *not* OID-based — engine OIDs are not stable across processes, but
+        the stored values are what the shred encodes."""
+        from repro.engine.exchange import _stable_repr
+
+        parts = [
+            f"format:{_LAYOUT_VERSION}",
+            f"schema:{self._database.schema_version}",
+        ]
+        for name in sorted(self._database.extent_names()):
+            value = self._database.extent(name)
+            digest = 0
+            count = 0
+            for element in value.elements():
+                digest = zlib.crc32(
+                    _stable_repr(element).encode("utf-8"), digest
+                )
+                count += 1
+            parts.append(f"{name}:{_collection_kind(value)}:{count}:{digest}")
+        return ";".join(parts)
+
+    def _manifest_value(self, key: str) -> str | None:
+        try:
+            row = self.connection.execute(
+                f"SELECT value FROM {_q(_MANIFEST_TABLE)} WHERE key = ?",
+                (key,),
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return None  # no manifest table: fresh file or foreign content
+        return None if row is None else row[0]
+
+    def _try_reuse(self, fingerprint: str) -> bool:
+        if self._manifest_value("fingerprint") != fingerprint:
+            return False
+        catalog_json = self._manifest_value("catalog")
+        refusals_json = self._manifest_value("refusals")
+        if catalog_json is None or refusals_json is None:
+            return False
+        try:
+            catalog = json.loads(catalog_json)
+            refusals = json.loads(refusals_json)
+            tables = {
+                name: _table_from_json(spec) for name, spec in catalog.items()
+            }
+        except (ValueError, KeyError, TypeError):
+            return False
+        self.tables = tables
+        self.refusals = {str(k): str(v) for k, v in refusals.items()}
+        return True
+
+    def _reset_file(self) -> None:
+        names = [
+            row[0]
+            for row in self.connection.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table' AND name NOT LIKE 'sqlite_%'"
+            ).fetchall()
+        ]
+        for name in names:
+            self.connection.execute(f"DROP TABLE IF EXISTS {_q(name)}")
+
+    def _write_manifest(self, fingerprint: str) -> None:
+        catalog = {
+            name: _table_to_json(table) for name, table in self.tables.items()
+        }
+        self.connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {_q(_MANIFEST_TABLE)} "
+            "(key TEXT PRIMARY KEY, value TEXT)"
+        )
+        for key, value in (
+            ("fingerprint", fingerprint),
+            ("catalog", json.dumps(catalog, sort_keys=True)),
+            ("refusals", json.dumps(self.refusals, sort_keys=True)),
+        ):
+            self.connection.execute(
+                f"INSERT OR REPLACE INTO {_q(_MANIFEST_TABLE)} "
+                "(key, value) VALUES (?, ?)",
+                (key, value),
+            )
+
+    def cached_segments(self, plan: Any, pushdown: bool) -> dict:
+        """The compiled segments for *plan*, lowered once per store.
+
+        Plan-cache hits re-execute the same ``CompiledQuery`` (and thus the
+        same plan object) many times; re-running the lowering on each
+        execution would dominate small queries."""
+        key = (id(plan), pushdown)
+        hit = self._segment_cache.get(key)
+        if hit is not None and hit[0] is plan:
+            return hit[1]
+        segments = compile_segments(plan, self, pushdown=pushdown)
+        if len(self._segment_cache) >= 128:
+            self._segment_cache.clear()
+        self._segment_cache[key] = (plan, segments)
+        return segments
+
+    def prepare_indexes(self, requests: set[tuple[str, str]]) -> list[str]:
+        """Create indexes for lowering-time equi-join columns (idempotent);
+        re-ANALYZE when anything new appears.  Returns new index names."""
+        created: list[str] = []
+        with self.lock:
+            for table_name, column in sorted(requests):
+                if (table_name, column) in self._join_indexed:
+                    continue
+                if table_name not in {
+                    t.name for t in self._all_tables()
+                }:  # pragma: no cover - requests come from the catalog
+                    continue
+                index = f"ix$join${table_name}${column}"
+                self.connection.execute(
+                    f"CREATE INDEX IF NOT EXISTS {_q(index)} "
+                    f"ON {_q(table_name)} ({_q(column)})"
+                )
+                self._join_indexed.add((table_name, column))
+                created.append(index)
+            if created:
+                self.connection.execute("ANALYZE")
+        return created
+
+    def _all_tables(self) -> Iterator[_Table]:
+        def walk(table: _Table) -> Iterator[_Table]:
+            yield table
+            for child in table.children.values():
+                yield from walk(child)
+
+        for table in self.tables.values():
+            yield from walk(table)
 
     # -- shredding ----------------------------------------------------------
 
@@ -325,9 +564,11 @@ class ShreddedStore:
         cols = ", ".join(_q(c) for c in table.all_columns())
         self.connection.execute(f"CREATE TABLE {_q(table.name)} ({cols})")
         if table.child:
+            # Composite: probes join on $parent and scan children in $pos
+            # order, so one index covers both the join and the sort.
             self.connection.execute(
                 f"CREATE INDEX {_q('ix$' + table.name)} "
-                f"ON {_q(table.name)} ({_q('$parent')})"
+                f"ON {_q(table.name)} ({_q('$parent')}, {_q('$pos')})"
             )
         for child in table.children.values():
             self._create(child)
@@ -501,27 +742,70 @@ def _walk_path(element: Any, path: str) -> Any | None:
     return value
 
 
+def _table_to_json(table: _Table) -> dict[str, Any]:
+    """The catalog entry persisted in a file-backed store's manifest."""
+    return {
+        "name": table.name,
+        "extent": table.extent,
+        "element": table.element,
+        "kind": table.kind,
+        "child": table.child,
+        "columns": dict(table.columns),
+        "records": sorted(table.records),
+        "children": {
+            path: _table_to_json(child)
+            for path, child in sorted(table.children.items())
+        },
+    }
+
+
+def _table_from_json(spec: Mapping[str, Any]) -> _Table:
+    return _Table(
+        name=spec["name"],
+        extent=spec["extent"],
+        element=spec["element"],
+        kind=spec["kind"],
+        child=bool(spec["child"]),
+        columns=dict(spec["columns"]),
+        records=set(spec["records"]),
+        children={
+            path: _table_from_json(child)
+            for path, child in spec["children"].items()
+        },
+    )
+
+
 #: One shredded store per database, invalidated on schema changes.  Weak so
 #: a dropped database releases its SQLite image.
-_STORES: "weakref.WeakKeyDictionary[Database, tuple[int, ShreddedStore]]" = (
-    weakref.WeakKeyDictionary()
-)
+_STORES: (
+    "weakref.WeakKeyDictionary[Database, tuple[int, str | None, ShreddedStore]]"
+) = weakref.WeakKeyDictionary()
 _STORES_LOCK = threading.Lock()
 
 
-def shredded_store(database: Database) -> ShreddedStore:
+def shredded_store(
+    database: Database,
+    db_path: str | None = None,
+    cache_kib: int | None = None,
+) -> ShreddedStore:
     """The (cached) shredded image of *database*.
 
-    Rebuilt whenever ``schema_version`` changes, mirroring the plan cache's
-    staleness rule.
+    Rebuilt whenever ``schema_version`` changes (mirroring the plan cache's
+    staleness rule) or when ``db_path`` switches — an in-memory store and a
+    file-backed one are different images.  A file-backed store that finds a
+    matching manifest fingerprint reuses the on-disk shred.
     """
     with _STORES_LOCK:
         entry = _STORES.get(database)
-        if entry is not None and entry[0] == database.schema_version:
-            return entry[1]
-    store = ShreddedStore(database)
+        if (
+            entry is not None
+            and entry[0] == database.schema_version
+            and entry[1] == db_path
+        ):
+            return entry[2]
+    store = ShreddedStore(database, db_path=db_path, cache_kib=cache_kib)
     with _STORES_LOCK:
-        _STORES[database] = (database.schema_version, store)
+        _STORES[database] = (database.schema_version, db_path, store)
     return store
 
 
@@ -545,12 +829,24 @@ class _SqlExpr:
 
 @dataclass
 class _VarBind:
-    """How one range variable is realized inside a SQL segment."""
+    """How one range variable is realized inside a SQL segment.
+
+    ``prefix`` supports lowered nests used as derived tables: a record
+    group key passes its payload columns through under a ``k<i>$`` prefix,
+    so the rebound variable resolves ``alias."k<i>$<column>"`` instead of
+    the physical column names.
+    """
 
     kind: str  # "record" | "scalar" | "expr"
     alias: str = ""
     table: _Table | None = None
     expr: _SqlExpr | None = None
+    prefix: str = ""
+
+
+def _bcol(bind: _VarBind, column: str) -> str:
+    """A bound table column as qualified SQL (prefix-aware)."""
+    return f"{bind.alias}.{_q(bind.prefix + column)}"
 
 
 _NUMERIC = frozenset(("int", "float", "num", "bool"))
@@ -702,19 +998,102 @@ def _resolve_path(term: Term, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
     if bind.kind == "scalar":
         if attrs:
             return None  # projecting a scalar is an engine-side error
-        return _SqlExpr(
-            f"{bind.alias}.{_q(table.value_column(''))}", table.columns[""]
-        )
+        return _SqlExpr(_bcol(bind, table.value_column("")), table.columns[""])
     if not attrs:
-        return _SqlExpr(f"{bind.alias}.{_q(table.oid_column())}", "object")
+        return _SqlExpr(_bcol(bind, table.oid_column()), "object")
     path = "$".join(reversed(attrs))
     if path in table.columns:
-        return _SqlExpr(
-            f"{bind.alias}.{_q(table.value_column(path))}", table.columns[path]
-        )
+        return _SqlExpr(_bcol(bind, table.value_column(path)), table.columns[path])
     if path in table.records:
-        return _SqlExpr(f"{bind.alias}.{_q(table.oid_column(path))}", "object")
+        return _SqlExpr(_bcol(bind, table.oid_column(path)), "object")
     return None  # a collection path or an attribute the catalog lacks
+
+
+# ---------------------------------------------------------------------------
+# SQL lowering: aggregate monoids
+# ---------------------------------------------------------------------------
+
+
+#: Monoids whose SQL value encoding is exact *mid-query*, so a lowered nest
+#: can feed further SQL.  ``min`` is excluded: its zero is ``inf``, which
+#: SQL renders as NULL — decodable at a segment root, not chainable.
+#: ``prod`` has no SQL aggregate at all and always stays residual.
+_CHAINABLE = frozenset(("sum", "max", "avg", "all", "some"))
+_ROOT_AGGREGATES = _CHAINABLE | {"min"}
+
+_BOOLISH = frozenset(("bool", "any", "null"))
+_NUMERIC_OK = _NUMERIC | {"any", "null"}
+
+
+def _filter_sql(term: Term, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
+    """*term* as a SQL condition used only for its truth (WHERE/ON/guards).
+
+    A filtering position keeps a row iff the predicate is exactly True, so
+    NULL and False are interchangeable there — and the reference
+    evaluator's left-biased ``and`` agrees with SQLite's Kleene AND on
+    True-ness (both are True iff both operands are).  Conjunctions
+    therefore lower to plain AND with no CASE guard, which keeps the
+    condition transparent to SQLite's planner: equality conjuncts in a
+    JOIN's ON clause can drive index probes.  ``or`` stays value-exact
+    (guarded): left-biased ``NULL or True`` is NULL — drops the row —
+    where Kleene OR would keep it.
+    """
+    if isinstance(term, BinOp) and term.op == "and":
+        left = _filter_sql(term.left, binds)
+        right = _filter_sql(term.right, binds)
+        if left is None or right is None:
+            return None
+        if left.tag not in _BOOLISH or right.tag not in _BOOLISH:
+            return None
+        return _SqlExpr(f"({left.sql} AND {right.sql})", "bool")
+    return _sql_expr(term, binds)
+
+
+def _aggregate_sql(
+    name: str, value_sql: str, tag: str
+) -> tuple[str, str, str] | None:
+    """The SQL aggregate for monoid *name* over *value_sql* contributions.
+
+    Returns ``(sql, out_tag, decode_kind)`` or None when the monoid/input
+    combination has no faithful SQL form.  Contributions are NULL for
+    skipped rows (NULL padding, failed predicates, NULL heads), which SQL
+    aggregates ignore — matching the calculus, where NULL contributes
+    nothing to a primitive accumulator.  The COALESCE/CASE wrappers restore
+    each monoid's zero on an empty group.
+    """
+    if name == "sum":
+        if tag not in _NUMERIC_OK:
+            return None
+        out = "int" if tag in ("int", "bool") else (
+            "float" if tag == "float" else "num"
+        )
+        return (f"COALESCE(SUM({value_sql}), 0)", out, "scalar")
+    if name == "max":
+        # The paper's (max, 0) monoid floors at zero; scalar two-arg max.
+        if tag not in _NUMERIC_OK:
+            return None
+        out = "int" if tag in ("int", "bool") else "num"
+        return (f"max(0, COALESCE(MAX({value_sql}), 0))", out, "scalar")
+    if name == "min":
+        # zero is +inf: an empty group decodes NULL -> float("inf") at the
+        # segment root ("min" decode kind).
+        if tag not in _NUMERIC_OK:
+            return None
+        return (f"MIN({value_sql})", "num", "min")
+    if name == "avg":
+        # SQL AVG is NULL on empty input, exactly the monoid's finalize.
+        if tag not in _NUMERIC_OK:
+            return None
+        return (f"AVG({value_sql})", "float", "scalar")
+    if name == "all":
+        if tag not in _BOOLISH:
+            return None
+        return (f"COALESCE(MIN({value_sql}), 1)", "bool", "scalar")
+    if name == "some":
+        if tag not in _BOOLISH:
+            return None
+        return (f"COALESCE(MAX({value_sql}), 0)", "bool", "scalar")
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -724,34 +1103,86 @@ def _resolve_path(term: Term, binds: Mapping[str, _VarBind]) -> _SqlExpr | None:
 
 @dataclass
 class _Chain:
-    """A partially built flat SELECT: FROM tree, filters, and bindings."""
+    """A partially built flat SELECT: FROM tree, filters, and bindings.
+
+    ``order_cols`` are the SQL expressions that reproduce the in-memory
+    engine's nested-loop enumeration order (one ``$pos`` per constituent
+    source, in enumeration order); a lowered nest replaces its inputs'
+    ``$pos`` columns with its groups' first-seen ``MIN("$rn")``.
+    """
 
     from_sql: str
     where: list[str]
     binds: dict[str, _VarBind]
-    tables: list[tuple[str, _Table]]  # (alias, table) in enumeration order
+    order_cols: list[str]
+    extents: list[str]
     uses_table: bool = True
+    #: True when the chain contains a lowered (GROUP BY) nest.
+    grouped: bool = False
 
 
 @dataclass
 class _Segment:
-    """One compiled flat query covering a subtree of the logical plan."""
+    """One compiled flat query covering a subtree of the logical plan.
+
+    ``mode`` selects the stitching strategy: ``stream`` yields one
+    environment per row (chains and GROUP BY nests), ``merge`` linearly
+    merges level-ordered rows into collection-valued groups, ``reduce``
+    decodes a single aggregate row, and ``fold`` folds decoded rows into a
+    collection monoid.
+    """
 
     sql: str
     #: Per-output-column decode instructions: (var, kind, tag).
     decoders: tuple[tuple[str, str, str], ...]
     #: Root extents whose objects the decoded rows reference.
     extents: tuple[str, ...]
+    mode: str = "stream"
+    #: EXPLAIN marker: sql | sql:group | sql:agg | sql:merge.
+    label: str = "sql"
+    #: merge mode: how many leading columns form the group key.
+    key_count: int = 0
+    #: merge/fold modes: the monoid folding decoded elements.
+    monoid_name: str = ""
+    #: merge mode: the variable bound to each group's collection.
+    out_var: str = ""
 
 
 class _SegmentBuilder:
-    """Compiles maximal operator subtrees into flat SELECT statements."""
+    """Compiles maximal operator subtrees into flat SELECT statements.
 
-    def __init__(self, store: ShreddedStore):
+    With *pushdown* enabled (the default), ``Reduce`` and ``Nest`` roots
+    with SQL-expressible monoids lower into aggregate queries, and lowered
+    nests additionally participate *inside* chains as derived tables.  With
+    pushdown off the builder reproduces the stitching-only backend — the
+    differential oracle pins both behaviors.
+    """
+
+    def __init__(self, store: ShreddedStore, pushdown: bool = True):
         self._store = store
+        self._pushdown = pushdown
+        #: (table, column) equi-join pairs worth indexing, discovered at
+        #: lowering time across every *successful* build.
+        self.index_requests: set[tuple[str, str]] = set()
+        self._pending: set[tuple[str, str]] = set()
 
     def build(self, plan: Operator) -> _Segment | None:
+        self._pending = set()
+        segment = self._build(plan)
+        if segment is not None:
+            self.index_requests |= self._pending
+        return segment
+
+    def _build(self, plan: Operator) -> _Segment | None:
         counter = [0]
+        if isinstance(plan, Reduce):
+            if not self._pushdown:
+                return None
+            return self._build_reduce(plan, counter)
+        if isinstance(plan, Nest):
+            if not self._pushdown:
+                return None
+            return self._build_nest(plan, counter)
         chain = self._chain(plan, counter)
         if chain is None or not chain.uses_table:
             return None
@@ -775,6 +1206,10 @@ class _SegmentBuilder:
             return self._chain_join(plan, counter)
         if isinstance(plan, (Unnest, OuterUnnest)):
             return self._chain_unnest(plan, counter)
+        if isinstance(plan, Seed):
+            return self._chain_seed(plan, counter)
+        if isinstance(plan, Nest):
+            return self._chain_nest(plan, counter)
         return None
 
     def _chain_scan(self, plan: Scan, counter: list[int]) -> _Chain | None:
@@ -787,14 +1222,28 @@ class _SegmentBuilder:
             from_sql=f"{_q(table.name)} {alias}",
             where=[],
             binds={plan.var: _VarBind(kind, alias, table)},
-            tables=[(alias, table)],
+            order_cols=[f"{alias}.{_q('$pos')}"],
+            extents=[table.extent],
+        )
+
+    def _chain_seed(self, plan: Seed, counter: list[int]) -> _Chain | None:
+        if not self._pushdown:
+            return None
+        alias = self._alias(counter)
+        return _Chain(
+            from_sql=f"(SELECT 0 AS {_q('$pos')}) {alias}",
+            where=[],
+            binds={},
+            order_cols=[f"{alias}.{_q('$pos')}"],
+            extents=[],
+            uses_table=False,
         )
 
     def _chain_select(self, plan: Select, counter: list[int]) -> _Chain | None:
         chain = self._chain(plan.child, counter)
         if chain is None:
             return None
-        pred = _sql_expr(plan.pred, chain.binds)
+        pred = _filter_sql(plan.pred, chain.binds)
         if pred is None:
             return None
         chain.where.append(pred.sql)
@@ -823,10 +1272,11 @@ class _SegmentBuilder:
         binds = {**left.binds, **right.binds}
         on: list[str] = []
         if plan.pred != Const(True):
-            pred = _sql_expr(plan.pred, binds)
+            pred = _filter_sql(plan.pred, binds)
             if pred is None:
                 return None
             on.append(pred.sql)
+            self._equi_columns(plan.pred, binds)
         if isinstance(plan, OuterJoin):
             # The right side's filters must join the ON clause: a LEFT JOIN
             # pads left rows whose partners fail them, exactly as O5 pads
@@ -844,8 +1294,29 @@ class _SegmentBuilder:
             ),
             where=where,
             binds=binds,
-            tables=left.tables + right.tables,
+            order_cols=left.order_cols + right.order_cols,
+            extents=left.extents + right.extents,
+            uses_table=left.uses_table or right.uses_table,
+            grouped=left.grouped or right.grouped,
         )
+
+    def _equi_columns(
+        self, pred: Term, binds: Mapping[str, _VarBind]
+    ) -> None:
+        """Collect physical (table, column) pairs under equality in an
+        AND-chain — the join keys worth indexing."""
+        if not isinstance(pred, BinOp):
+            return
+        if pred.op == "and":
+            self._equi_columns(pred.left, binds)
+            self._equi_columns(pred.right, binds)
+            return
+        if pred.op != "==":
+            return
+        for side in (pred.left, pred.right):
+            found = _indexable_column(side, binds)
+            if found is not None:
+                self._pending.add(found)
 
     def _chain_unnest(
         self, plan: Unnest | OuterUnnest, counter: list[int]
@@ -856,17 +1327,23 @@ class _SegmentBuilder:
         resolved = self._collection(plan.path, chain.binds)
         if resolved is None:
             return None
-        parent_alias, parent_table, child = resolved
+        parent_bind, child = resolved
+        parent_table = parent_bind.table
+        assert parent_table is not None
         alias = self._alias(counter)
         kind = "record" if child.element == "record" else "scalar"
         binds = dict(chain.binds)
         binds[plan.var] = _VarBind(kind, alias, child)
         on = [
             f"{alias}.{_q('$parent')} = "
-            f"{parent_alias}.{_q(parent_table.oid_column())}"
+            f"{_bcol(parent_bind, parent_table.oid_column())}"
         ]
+        if not parent_bind.prefix:
+            # The probe side of the $parent join: worth an index on the
+            # parent's $oid when SQLite drives from the child table.
+            self._pending.add((parent_table.name, parent_table.oid_column()))
         if plan.pred != Const(True):
-            pred = _sql_expr(plan.pred, binds)
+            pred = _filter_sql(plan.pred, binds)
             if pred is None:
                 return None
             # O6 pads when no element *satisfies the predicate*, which is
@@ -880,13 +1357,16 @@ class _SegmentBuilder:
             ),
             where=chain.where,
             binds=binds,
-            tables=chain.tables + [(alias, child)],
+            order_cols=chain.order_cols + [f"{alias}.{_q('$pos')}"],
+            extents=chain.extents + [child.extent],
+            uses_table=True,
+            grouped=chain.grouped,
         )
 
     def _collection(
         self, path: Term, binds: Mapping[str, _VarBind]
-    ) -> tuple[str, _Table, _Table] | None:
-        """Resolve an unnest path to (parent alias, parent table, child)."""
+    ) -> tuple[_VarBind, _Table] | None:
+        """Resolve an unnest path to (parent bind, child table)."""
         attrs: list[str] = []
         while isinstance(path, Proj):
             attrs.append(path.attr)
@@ -900,7 +1380,333 @@ class _SegmentBuilder:
         child = bind.table.children.get("$".join(reversed(attrs)))
         if child is None:
             return None
-        return bind.alias, bind.table, child
+        return bind, child
+
+    # -- nest/reduce lowering ------------------------------------------------
+
+    def _nest_condition(
+        self, plan: Nest, binds: Mapping[str, _VarBind]
+    ) -> tuple[bool, str | None]:
+        """The contribution guard: null-var indicators AND the predicate.
+
+        Returns ``(ok, sql)`` — sql None means unconditional.  The
+        indicators are 0/1 (never NULL), so Kleene AND with a possibly-NULL
+        predicate matches the calculus: any NULL/false conjunct yields a
+        NULL contribution, which the aggregates skip (``_holds`` treats
+        NULL as false; null vars are checked first).
+        """
+        conds: list[str] = []
+        for null_var in plan.null_vars:
+            indicator = _sql_expr(Var(null_var), binds)
+            if indicator is None:
+                return False, None
+            conds.append(f"({indicator.sql} IS NOT NULL)")
+        if plan.pred != Const(True):
+            pred = _filter_sql(plan.pred, binds)
+            if pred is None or pred.tag not in _BOOLISH:
+                return False, None
+            conds.append(pred.sql)
+        if not conds:
+            return True, None
+        return True, " AND ".join(conds)
+
+    def _key_select(
+        self, bind: _VarBind, name: str
+    ) -> tuple[str, tuple[str, str]]:
+        """One group key as ``(select sql, (decode kind, tag))``."""
+        if bind.kind == "record":
+            assert bind.table is not None
+            return _bcol(bind, bind.table.oid_column()), ("object", "")
+        if bind.kind == "scalar":
+            assert bind.table is not None
+            return (
+                _bcol(bind, bind.table.value_column("")),
+                ("scalar", bind.table.columns[""]),
+            )
+        assert bind.expr is not None
+        if bind.expr.tag == "object":
+            return bind.expr.sql, ("object", "")
+        return bind.expr.sql, ("scalar", bind.expr.tag)
+
+    def _pinned_rank(self, plan: Nest, chain: _Chain) -> str | None:
+        """The enumeration-order column pinned by the group key, if any.
+
+        When every group-by variable is a record binding and together they
+        pin the chain's *leading* order column, that column is constant
+        within each group (the key fixes its source row) and distinct
+        across groups (``$oid`` and ``$pos`` are bijective per source), so
+        it reproduces first-seen group order directly — the
+        ``ROW_NUMBER()`` window, which forces a full sort of the join
+        output, can be dropped in favor of the bare column.
+        """
+        if not plan.group_by:
+            return None
+        pinned: set[str] = set()
+        for var in plan.group_by:
+            bind = chain.binds.get(var)
+            if bind is None or bind.kind != "record":
+                return None
+            pinned.add(f"{bind.alias}.{_q('$pos')}")
+        if len(pinned) == 1 and chain.order_cols[:1] == list(pinned):
+            return chain.order_cols[0]
+        return None
+
+    def _chain_nest(self, plan: Nest, counter: list[int]) -> _Chain | None:
+        """A lowered nest as a *derived table* feeding further SQL.
+
+        The inner query stamps each row with its enumeration rank
+        (``ROW_NUMBER()`` over the chain's ``$pos`` order) and the guarded
+        contribution; the outer query groups, aggregates, and keeps
+        ``MIN("$rn")`` as the group's first-seen position.  Record group
+        keys pass their payload columns through under a ``k<i>$`` prefix —
+        within a group every row carries the same ``$oid``, hence identical
+        payload, so the bare columns are sound under GROUP BY.
+        """
+        if not self._pushdown:
+            return None
+        if plan.monoid_name not in _CHAINABLE:
+            return None
+        if isinstance(plan.monoid, CollectionMonoid):
+            return None
+        chain = self._chain(plan.child, counter)
+        if chain is None:
+            return None
+        ok, cond = self._nest_condition(plan, chain.binds)
+        if not ok:
+            return None
+        head = _sql_expr(plan.head, chain.binds)
+        if head is None or head.tag == "object":
+            return None
+        aggregate = _aggregate_sql(plan.monoid_name, _q("$c"), head.tag)
+        if aggregate is None:
+            return None
+        agg_sql, out_tag, _decode = aggregate
+        galias = self._alias(counter)
+        inner_select: list[str] = []
+        outer_select: list[str] = []
+        group_names: list[str] = []
+        rebinds: dict[str, _VarBind] = {}
+        for i, var in enumerate(plan.group_by):
+            bind = chain.binds.get(var)
+            if bind is None:
+                return None
+            if bind.kind == "record":
+                assert bind.table is not None
+                table = bind.table
+                for column in [table.oid_column()] + table.payload_columns():
+                    out = f"k{i}${column}"
+                    inner_select.append(f"{_bcol(bind, column)} AS {_q(out)}")
+                    outer_select.append(_q(out))
+                group_names.append(_q(f"k{i}$" + table.oid_column()))
+                rebinds[var] = _VarBind(
+                    "record", galias, table, prefix=f"k{i}$"
+                )
+            else:
+                key_sql, (kind, tag) = self._key_select(bind, f"k{i}")
+                inner_select.append(f"{key_sql} AS {_q(f'k{i}')}")
+                outer_select.append(_q(f"k{i}"))
+                group_names.append(_q(f"k{i}"))
+                rebinds[var] = _VarBind(
+                    "expr",
+                    expr=_SqlExpr(
+                        f"{galias}.{_q(f'k{i}')}",
+                        "object" if kind == "object" else tag,
+                    ),
+                )
+        contrib = (
+            head.sql
+            if cond is None
+            else f"(CASE WHEN {cond} THEN {head.sql} ELSE NULL END)"
+        )
+        inner_select.append(f"{contrib} AS {_q('$c')}")
+        rank = self._pinned_rank(plan, chain)
+        if rank is None:
+            order = ", ".join(chain.order_cols)
+            rank = f"ROW_NUMBER() OVER (ORDER BY {order})"
+        inner_select.append(f"{rank} AS {_q('$rn')}")
+        inner_sql = f"SELECT {', '.join(inner_select)} FROM {chain.from_sql}"
+        if chain.where:
+            inner_sql += f" WHERE {' AND '.join(chain.where)}"
+        # GROUP BY NULL for key-less nests: one group while input rows
+        # exist, *zero* groups on empty input — matching the calculus,
+        # where a nest over an empty stream emits nothing (unlike a bare
+        # SQL aggregate, which would emit one row).
+        group_clause = ", ".join(group_names) if group_names else "NULL"
+        outer_items = outer_select + [
+            f"{agg_sql} AS {_q('$agg')}",
+            f"MIN({_q('$rn')}) AS {_q('$pos')}",
+        ]
+        grouped_sql = (
+            f"SELECT {', '.join(outer_items)} FROM ({inner_sql}) "
+            f"GROUP BY {group_clause}"
+        )
+        rebinds[plan.out_var] = _VarBind(
+            "expr", expr=_SqlExpr(f"{galias}.{_q('$agg')}", out_tag)
+        )
+        return _Chain(
+            from_sql=f"({grouped_sql}) {galias}",
+            where=[],
+            binds=rebinds,
+            order_cols=[f"{galias}.{_q('$pos')}"],
+            extents=list(chain.extents),
+            uses_table=chain.uses_table,
+            grouped=True,
+        )
+
+    def _build_nest(self, plan: Nest, counter: list[int]) -> _Segment | None:
+        """A nest at a segment root: GROUP BY for primitive monoids, a
+        level-ordered merge query for collection monoids."""
+        chain = self._chain(plan.child, counter)
+        if chain is None or not chain.uses_table:
+            return None
+        ok, cond = self._nest_condition(plan, chain.binds)
+        if not ok:
+            return None
+        if isinstance(plan.monoid, CollectionMonoid):
+            return self._build_nest_merge(plan, chain, cond)
+        if plan.monoid_name not in _ROOT_AGGREGATES:
+            return None
+        head = _sql_expr(plan.head, chain.binds)
+        if head is None or head.tag == "object":
+            return None
+        aggregate = _aggregate_sql(plan.monoid_name, _q("$c"), head.tag)
+        if aggregate is None:
+            return None
+        agg_sql, out_tag, decode_kind = aggregate
+        inner_select: list[str] = []
+        outer_select: list[str] = []
+        group_names: list[str] = []
+        decoders: list[tuple[str, str, str]] = []
+        for i, var in enumerate(plan.group_by):
+            bind = chain.binds.get(var)
+            if bind is None:
+                return None
+            key_sql, (kind, tag) = self._key_select(bind, f"k{i}")
+            inner_select.append(f"{key_sql} AS {_q(f'k{i}')}")
+            outer_select.append(f"{_q(f'k{i}')} AS c{i}")
+            group_names.append(_q(f"k{i}"))
+            decoders.append((var, kind, tag))
+        contrib = (
+            head.sql
+            if cond is None
+            else f"(CASE WHEN {cond} THEN {head.sql} ELSE NULL END)"
+        )
+        inner_select.append(f"{contrib} AS {_q('$c')}")
+        rank = self._pinned_rank(plan, chain)
+        if rank is None:
+            order = ", ".join(chain.order_cols)
+            rank = f"ROW_NUMBER() OVER (ORDER BY {order})"
+        inner_select.append(f"{rank} AS {_q('$rn')}")
+        inner_sql = f"SELECT {', '.join(inner_select)} FROM {chain.from_sql}"
+        if chain.where:
+            inner_sql += f" WHERE {' AND '.join(chain.where)}"
+        group_clause = ", ".join(group_names) if group_names else "NULL"
+        outer_select.append(f"{agg_sql} AS c{len(plan.group_by)}")
+        decoders.append((plan.out_var, decode_kind, out_tag))
+        sql = (
+            f"SELECT {', '.join(outer_select)} FROM ({inner_sql}) "
+            f"GROUP BY {group_clause} ORDER BY MIN({_q('$rn')})"
+        )
+        return _Segment(
+            sql,
+            tuple(decoders),
+            tuple(dict.fromkeys(chain.extents)),
+            mode="stream",
+            label="sql:group",
+        )
+
+    def _build_nest_merge(
+        self, plan: Nest, chain: _Chain, cond: str | None
+    ) -> _Segment | None:
+        """Collection-monoid nest: one query ordered by group key (then
+        enumeration rank), merged back in a single linear pass."""
+        head = _sql_expr(plan.head, chain.binds)
+        if head is None:
+            return None
+        select: list[str] = []
+        decoders: list[tuple[str, str, str]] = []
+        key_names: list[str] = []
+        for i, var in enumerate(plan.group_by):
+            bind = chain.binds.get(var)
+            if bind is None:
+                return None
+            key_sql, (kind, tag) = self._key_select(bind, f"k{i}")
+            select.append(f"{key_sql} AS c{i}")
+            key_names.append(f"c{i}")
+            decoders.append((var, kind, tag))
+        head_kind = "object" if head.tag == "object" else "scalar"
+        decoders.append(("", head_kind, head.tag))
+        select.append(f"({cond or '1'}) AS {_q('$c')}")
+        select.append(f"{head.sql} AS {_q('$h')}")
+        order = ", ".join(chain.order_cols)
+        select.append(f"ROW_NUMBER() OVER (ORDER BY {order}) AS {_q('$rn')}")
+        sql = f"SELECT {', '.join(select)} FROM {chain.from_sql}"
+        if chain.where:
+            sql += f" WHERE {' AND '.join(chain.where)}"
+        sql += " ORDER BY " + ", ".join(key_names + [_q("$rn")])
+        return _Segment(
+            sql,
+            tuple(decoders),
+            tuple(dict.fromkeys(chain.extents)),
+            mode="merge",
+            label="sql:merge",
+            key_count=len(plan.group_by),
+            monoid_name=plan.monoid_name,
+            out_var=plan.out_var,
+        )
+
+    def _build_reduce(
+        self, plan: Reduce, counter: list[int]
+    ) -> _Segment | None:
+        """A reduce root: a single aggregate row for primitive monoids, an
+        ordered element stream folded in one pass for collection monoids."""
+        chain = self._chain(plan.child, counter)
+        if chain is None or not chain.uses_table:
+            return None
+        where = list(chain.where)
+        if plan.pred != Const(True):
+            pred = _filter_sql(plan.pred, chain.binds)
+            if pred is None or pred.tag not in _BOOLISH:
+                return None
+            # WHERE drops NULL predicates exactly as _holds treats them.
+            where.append(pred.sql)
+        head = _sql_expr(plan.head, chain.binds)
+        if head is None:
+            return None
+        extents = tuple(dict.fromkeys(chain.extents))
+        if isinstance(plan.monoid, CollectionMonoid):
+            sql = f"SELECT {head.sql} AS c0 FROM {chain.from_sql}"
+            if where:
+                sql += f" WHERE {' AND '.join(where)}"
+            sql += f" ORDER BY {', '.join(chain.order_cols)}"
+            head_kind = "object" if head.tag == "object" else "scalar"
+            return _Segment(
+                sql,
+                (("", head_kind, head.tag),),
+                extents,
+                mode="fold",
+                label="sql",
+                monoid_name=plan.monoid_name,
+            )
+        if plan.monoid_name not in _ROOT_AGGREGATES:
+            return None
+        if head.tag == "object":
+            return None
+        aggregate = _aggregate_sql(plan.monoid_name, head.sql, head.tag)
+        if aggregate is None:
+            return None
+        agg_sql, out_tag, decode_kind = aggregate
+        sql = f"SELECT {agg_sql} AS c0 FROM {chain.from_sql}"
+        if where:
+            sql += f" WHERE {' AND '.join(where)}"
+        return _Segment(
+            sql,
+            (("", decode_kind, out_tag),),
+            extents,
+            mode="reduce",
+            label="sql:agg",
+            monoid_name=plan.monoid_name,
+        )
 
     # -- SELECT assembly -----------------------------------------------------
 
@@ -911,50 +1717,98 @@ class _SegmentBuilder:
             bind = chain.binds[var]
             if bind.kind == "record":
                 assert bind.table is not None
-                expr = f"{bind.alias}.{_q(bind.table.oid_column())}"
+                expr = _bcol(bind, bind.table.oid_column())
                 decoders.append((var, "object", ""))
             elif bind.kind == "scalar":
                 assert bind.table is not None
-                expr = f"{bind.alias}.{_q(bind.table.value_column(''))}"
+                expr = _bcol(bind, bind.table.value_column(""))
                 decoders.append((var, "scalar", bind.table.columns[""]))
             else:
                 assert bind.expr is not None
                 expr = bind.expr.sql
-                decoders.append((var, "scalar", bind.expr.tag))
+                if bind.expr.tag == "object":
+                    decoders.append((var, "object", ""))
+                else:
+                    decoders.append((var, "scalar", bind.expr.tag))
             select.append(f"{expr} AS c{position}")
         # Ordering by every constituent $pos reproduces the in-memory
         # engine's nested-loop enumeration order (padded rows sort first
         # within their left row, which is also the only row it has).
-        order = ", ".join(
-            f"{alias}.{_q('$pos')}" for alias, _ in chain.tables
-        )
+        order = ", ".join(chain.order_cols)
         sql = f"SELECT {', '.join(select)} FROM {chain.from_sql}"
         if chain.where:
             sql += f" WHERE {' AND '.join(chain.where)}"
         sql += f" ORDER BY {order}"
-        extents = tuple(
-            dict.fromkeys(table.extent for _, table in chain.tables)
-        )
-        return _Segment(sql, tuple(decoders), extents)
+        extents = tuple(dict.fromkeys(chain.extents))
+        label = "sql:group" if chain.grouped else "sql"
+        return _Segment(sql, tuple(decoders), extents, label=label)
+
+
+def _indexable_column(
+    term: Term, binds: Mapping[str, _VarBind]
+) -> tuple[str, str] | None:
+    """The physical (table, column) behind an equality operand, if any.
+
+    Only unprefixed binds qualify: a prefixed bind reads from a derived
+    table, which has no index to offer.
+    """
+    attrs: list[str] = []
+    while isinstance(term, Proj):
+        attrs.append(term.attr)
+        term = term.expr
+    if not isinstance(term, Var):
+        return None
+    bind = binds.get(term.name)
+    if bind is None or bind.prefix or bind.table is None:
+        return None
+    table = bind.table
+    if bind.kind == "scalar":
+        if attrs:
+            return None
+        return (table.name, table.value_column(""))
+    if bind.kind != "record":
+        return None
+    if not attrs:
+        return (table.name, table.oid_column())
+    path = "$".join(reversed(attrs))
+    if path in table.columns:
+        return (table.name, table.value_column(path))
+    if path in table.records:
+        return (table.name, table.oid_column(path))
+    return None
 
 
 def compile_segments(
-    plan: Operator, store: ShreddedStore
+    plan: Operator, store: ShreddedStore, pushdown: bool = True
 ) -> dict[int, _Segment]:
     """Maximal SQL-translatable subtrees of *plan*, keyed by node ``id``.
 
     The walk is top-down greedy: the largest subtree that fully translates
-    becomes one flat SELECT; anything that refuses (nest operators, residual
-    expressions, refused extents) stays Python, and the search recurses into
-    its children — so a plan degrades gracefully from "one flat query per
-    nesting level" down to per-scan queries, never failing outright.
+    becomes one flat SELECT — with *pushdown* that includes ``Reduce`` and
+    ``Nest`` roots lowered to SQL aggregation; anything that refuses
+    (residual expressions, refused extents, non-lowerable monoids) stays
+    Python, and the search recurses into its children — so a plan degrades
+    gracefully from "one flat query per nesting level" down to per-scan
+    queries, never failing outright.  Equi-join columns discovered during
+    lowering get indexes (plus ANALYZE) before execution.
     """
-    builder = _SegmentBuilder(store)
+    builder = _SegmentBuilder(store, pushdown=pushdown)
     segments: dict[int, _Segment] = {}
 
     def visit(node: Operator) -> None:
         if isinstance(
-            node, (Scan, Select, Map, Join, OuterJoin, Unnest, OuterUnnest)
+            node,
+            (
+                Scan,
+                Select,
+                Map,
+                Join,
+                OuterJoin,
+                Unnest,
+                OuterUnnest,
+                Reduce,
+                Nest,
+            ),
         ):
             segment = builder.build(node)
             if segment is not None:
@@ -964,6 +1818,8 @@ def compile_segments(
             visit(child)
 
     visit(plan)
+    if builder.index_requests:
+        store.prepare_indexes(builder.index_requests)
     return segments
 
 
@@ -972,15 +1828,51 @@ def compile_segments(
 # ---------------------------------------------------------------------------
 
 
+class _ProgressTrap:
+    """Captures the GovernorError a progress handler raised.
+
+    Exceptions must never cross the sqlite3 C boundary: the handler stores
+    the structured error here and returns 1, SQLite aborts the statement
+    with ``OperationalError: interrupted``, and the caller re-raises the
+    stored error in its place.
+    """
+
+    __slots__ = ("tripped",)
+
+    def __init__(self) -> None:
+        self.tripped: BaseException | None = None
+
+
+def _install_progress(connection: Any, governor: Any) -> _ProgressTrap | None:
+    """Wire the shared governor into SQLite's VM so timeouts, budgets, and
+    cancellation trip *mid-SELECT*, not just between flat queries."""
+    if governor is None:
+        return None
+    trap = _ProgressTrap()
+
+    def handler() -> int:
+        try:
+            governor.tick()
+        except GovernorError as exc:
+            trap.tripped = exc
+            return 1
+        except Exception:  # pragma: no cover - never cross the C boundary
+            return 1
+        return 0
+
+    connection.set_progress_handler(handler, _PROGRESS_OPCODES)
+    return trap
+
+
 class _HybridEvaluator(PlanEvaluator):
     """The stitching evaluator: SQL segments below, reference Python above.
 
-    Operators covered by a compiled segment stream decoded SQLite rows;
-    every other operator — ``Nest`` (the stitcher), ``Reduce``, and any
-    operator whose expressions stayed residual — runs the inherited
-    reference semantics over the shredded store's rehydrated extents.
-    Identity, 3VL, and monoid behavior therefore match the in-memory
-    engine by construction.
+    Operators covered by a compiled segment stream decoded SQLite rows (or,
+    for lowered reduce/nest roots, decode aggregated results directly);
+    every other operator — residual expressions, refused extents,
+    non-lowerable monoids — runs the inherited reference semantics over the
+    shredded store's rehydrated extents.  Identity, 3VL, and monoid
+    behavior therefore match the in-memory engine by construction.
     """
 
     def __init__(
@@ -997,40 +1889,212 @@ class _HybridEvaluator(PlanEvaluator):
         self._store = store
         self._segments = segments
         self._governor = governor
-        #: (sql, rows, milliseconds) per executed flat query.
-        self.flat_queries: list[tuple[str, int, float]] = []
+        #: (sql, rows, sql ms, decode/stitch ms) per executed flat query.
+        self.flat_queries: list[tuple[str, int, float, float]] = []
 
     def stream(self, plan: Operator) -> Iterator[dict[str, Any]]:
         segment = self._segments.get(id(plan))
         if segment is None:
             return super().stream(plan)
+        if segment.mode == "merge":
+            return self._stream_merge(segment)
         return self._stream_segment(segment)
 
-    def _stream_segment(self, segment: _Segment) -> Iterator[dict[str, Any]]:
-        store = self._store
-        store.ensure_loaded(segment.extents)
+    def _reduce(self, plan: Reduce) -> Any:
+        segment = self._segments.get(id(plan))
+        if segment is None or segment.mode not in ("reduce", "fold"):
+            monoid = plan.monoid
+            if isinstance(monoid, CollectionMonoid):
+                # Same semantics as the base per-row merge loop — for
+                # collection monoids the contribution is unconditionally
+                # unit(head), NULLs kept, no finalize — but folding the
+                # collected elements once is O(n) where repeated
+                # set/bag union rebuilds the accumulator per row (O(n²)).
+                elements = [
+                    self._value(plan.head, env)
+                    for env in self.stream(plan.child)
+                    if self._holds(plan.pred, env)
+                ]
+                self.steps += len(elements)
+                return monoid.fold_elements(elements)
+            return super()._reduce(plan)
+        rows, index = self._execute(segment)
         start = time.perf_counter()
-        with store.lock:
-            rows = store.connection.execute(segment.sql).fetchall()
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        self.flat_queries.append((segment.sql, len(rows), elapsed_ms))
+        objects = self._store.objects
+        _, kind, tag = segment.decoders[0]
+        if segment.mode == "reduce":
+            value = rows[0][0]
+            if kind == "min":
+                result = float("inf") if value is None else value
+            elif value is None:
+                result = NULL
+            else:
+                result = bool(value) if tag == "bool" else value
+        else:
+            elements: list[Any] = []
+            append = elements.append
+            if kind == "object":
+                for row in rows:
+                    value = row[0]
+                    append(NULL if value is None else objects[value])
+            elif tag == "bool":
+                for row in rows:
+                    value = row[0]
+                    append(NULL if value is None else bool(value))
+            else:
+                for row in rows:
+                    value = row[0]
+                    append(NULL if value is None else value)
+            self.steps += len(rows)
+            monoid = lookup_monoid(segment.monoid_name)
+            assert isinstance(monoid, CollectionMonoid)
+            result = monoid.fold_elements(elements)
+        self._add_decode_ms(index, (time.perf_counter() - start) * 1000.0)
+        return result
+
+    # -- segment execution ---------------------------------------------------
+
+    def _execute(self, segment: _Segment) -> tuple[list[Any], int]:
+        """Run one flat query; returns (rows, flat_queries index).
+
+        Rows are drained in batches with the governor ticked per batch, and
+        a progress handler checkpoints the governor every few thousand VM
+        opcodes so budgets trip inside long-running SELECTs too.
+        """
+        store = self._store
+        if any(kind == "object" for _, kind, _ in segment.decoders):
+            # Only object-decoding segments need the rehydrated extents;
+            # scalar aggregates and folds skip that cost entirely.
+            store.ensure_loaded(segment.extents)
         governor = self._governor
-        tick = governor.tick if governor is not None else None
-        objects = store.objects
+        sql = segment.sql
+        if governor is not None:
+            # SQLite's progress-handler countdown runs off the *statement's*
+            # accumulated VM-step counter, which the module's statement
+            # cache preserves across executions — a cache hit would start
+            # at a different opcode phase each run, making checkpoint
+            # charges nondeterministic.  A nonce comment forces a fresh
+            # prepare (phase zero) for governed statements only; the
+            # ungoverned hot path keeps the cache.
+            store._governed_nonce += 1
+            sql = f"{segment.sql} /* governed:{store._governed_nonce} */"
+        start = time.perf_counter()
+        rows: list[Any] = []
+        with store.lock:
+            trap = _install_progress(store.connection, governor)
+            try:
+                cursor = store.connection.execute(sql)
+                while True:
+                    batch = cursor.fetchmany(_FETCH_BATCH)
+                    if governor is not None and batch:
+                        governor.tick_many(len(batch))
+                    rows.extend(batch)
+                    if len(batch) < _FETCH_BATCH:
+                        break
+            except sqlite3.OperationalError as exc:
+                if trap is not None and trap.tripped is not None:
+                    raise trap.tripped from None
+                raise ExecutionError(
+                    f"sqlite backend error: {exc}"
+                ) from exc
+            finally:
+                if trap is not None:
+                    store.connection.set_progress_handler(None, 0)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.flat_queries.append((segment.sql, len(rows), elapsed_ms, 0.0))
+        return rows, len(self.flat_queries) - 1
+
+    def _add_decode_ms(self, index: int, ms: float) -> None:
+        sql, count, sql_ms, decode_ms = self.flat_queries[index]
+        self.flat_queries[index] = (sql, count, sql_ms, decode_ms + ms)
+
+    def _stream_segment(self, segment: _Segment) -> Iterator[dict[str, Any]]:
+        rows, index = self._execute(segment)
+        objects = self._store.objects
         decoders = segment.decoders
+
+        def generate() -> Iterator[dict[str, Any]]:
+            total = len(rows)
+            for base in range(0, total, _FETCH_BATCH):
+                start = time.perf_counter()
+                chunk: list[dict[str, Any]] = []
+                for row in rows[base : base + _FETCH_BATCH]:
+                    self.steps += 1
+                    env: dict[str, Any] = {}
+                    for (var, kind, tag), value in zip(decoders, row):
+                        if kind == "min":
+                            env[var] = float("inf") if value is None else value
+                        elif value is None:
+                            env[var] = NULL
+                        elif kind == "object":
+                            env[var] = objects[value]
+                        else:
+                            env[var] = bool(value) if tag == "bool" else value
+                    chunk.append(env)
+                self._add_decode_ms(
+                    index, (time.perf_counter() - start) * 1000.0
+                )
+                yield from chunk
+
+        return generate()
+
+    def _stream_merge(self, segment: _Segment) -> Iterator[dict[str, Any]]:
+        """Linear-merge stitching for collection-monoid nests.
+
+        The rows arrive ordered by group key then enumeration rank, so one
+        pass over adjacent runs rebuilds every group; groups are then
+        emitted in first-seen (minimum rank) order, matching the reference
+        nest's output order.
+        """
+        rows, index = self._execute(segment)
+        start = time.perf_counter()
+        objects = self._store.objects
+        key_count = segment.key_count
+        key_decoders = segment.decoders[:key_count]
+        _, head_kind, head_tag = segment.decoders[key_count]
+        monoid = lookup_monoid(segment.monoid_name)
+        assert isinstance(monoid, CollectionMonoid)
+        out_var = segment.out_var
+        #: [first rank, key env, elements] per group, in key order.
+        groups: list[list[Any]] = []
+        previous: Any = None
         for row in rows:
             self.steps += 1
-            if tick is not None:
-                tick()
-            env: dict[str, Any] = {}
-            for (var, kind, tag), value in zip(decoders, row):
+            key = row[:key_count]
+            if not groups or key != previous:
+                env: dict[str, Any] = {}
+                for (var, kind, tag), value in zip(key_decoders, row):
+                    if value is None:
+                        env[var] = NULL
+                    elif kind == "object":
+                        env[var] = objects[value]
+                    else:
+                        env[var] = bool(value) if tag == "bool" else value
+                groups.append([row[key_count + 2], env, []])
+                previous = key
+            if row[key_count]:  # the guarded contribution indicator
+                value = row[key_count + 1]
                 if value is None:
-                    env[var] = NULL
-                elif kind == "object":
-                    env[var] = objects[value]
+                    element = NULL
+                elif head_kind == "object":
+                    element = objects[value]
                 else:
-                    env[var] = bool(value) if tag == "bool" else value
-            yield env
+                    element = bool(value) if head_tag == "bool" else value
+                groups[-1][2].append(element)
+        groups.sort(key=lambda group: group[0])
+        results = [
+            {**env, out_var: monoid.fold_elements(elements)}
+            for _, env, elements in groups
+        ]
+        self._add_decode_ms(index, (time.perf_counter() - start) * 1000.0)
+        return iter(results)
+
+
+def _compiled_options(compiled: Any) -> tuple[str | None, bool]:
+    options = getattr(compiled, "options", None)
+    db_path = getattr(options, "db_path", None)
+    pushdown = getattr(options, "sqlite_pushdown", True)
+    return db_path, pushdown
 
 
 def execute_shredded(
@@ -1041,14 +2105,16 @@ def execute_shredded(
     flat_queries: list | None = None,
 ) -> Any:
     """Run a :class:`~repro.core.pipeline.CompiledQuery` on the SQLite
-    backend; *flat_queries* (when given) collects (sql, rows, ms) tuples."""
+    backend; *flat_queries* (when given) collects
+    (sql, rows, sql ms, decode ms) tuples."""
     if compiled.optimized is None:
         raise BackendUnsupportedError(
             "backend='sqlite' requires an unnested algebraic plan "
             "(compile with unnest=True)"
         )
-    store = shredded_store(database)
-    segments = compile_segments(compiled.optimized, store)
+    db_path, pushdown = _compiled_options(compiled)
+    store = shredded_store(database, db_path=db_path)
+    segments = store.cached_segments(compiled.optimized, pushdown)
     evaluator = _HybridEvaluator(store, segments, params, governor)
     result = evaluator.evaluate(compiled.optimized)
     if flat_queries is not None:
@@ -1058,22 +2124,31 @@ def execute_shredded(
 
 def explain_shredded(compiled: Any, database: Database) -> str:
     """An EXPLAIN rendering: the operator tree with each compiled subtree's
-    generated flat SQL, and ``[py]`` markers on residual operators."""
+    generated flat SQL (``[sql:group]``/``[sql:agg]``/``[sql:merge]``
+    markers show pushed-down aggregation), and ``[py]`` markers on residual
+    operators."""
     if compiled.optimized is None:
         raise BackendUnsupportedError(
             "backend='sqlite' requires an unnested algebraic plan "
             "(compile with unnest=True)"
         )
-    store = shredded_store(database)
-    segments = compile_segments(compiled.optimized, store)
+    db_path, pushdown = _compiled_options(compiled)
+    store = shredded_store(database, db_path=db_path)
+    segments = store.cached_segments(compiled.optimized, pushdown)
     lines = ["backend: sqlite (query shredding over stdlib sqlite3)"]
+    if store.db_path is not None:
+        lines.append(
+            f"store: file-backed at {store.db_path} "
+            f"({'reused' if store.reused else 'shredded'})"
+        )
 
     def visit(node: Operator, depth: int) -> None:
         indent = "  " * depth
         segment = segments.get(id(node))
         if segment is not None:
-            lines.append(f"{indent}[sql] {type(node).__name__} subtree:")
-            lines.append(f"{indent}      {segment.sql}")
+            marker = f"[{segment.label}]"
+            lines.append(f"{indent}{marker} {type(node).__name__} subtree:")
+            lines.append(f"{indent}{' ' * len(marker)} {segment.sql}")
             return
         lines.append(f"{indent}[py]  {type(node).__name__}")
         for child in node.children():
@@ -1083,18 +2158,23 @@ def explain_shredded(compiled: Any, database: Database) -> str:
     return "\n".join(lines)
 
 
-def shredded_sql(database: Database, source: str) -> list[str]:
+def shredded_sql(
+    database: Database, source: str, pushdown: bool = True
+) -> list[str]:
     """The flat SQL statements the backend generates for *source*, in plan
     pre-order (the golden-SQL test surface)."""
     from repro.core.optimizer import OptimizerOptions
     from repro.core.pipeline import QueryPipeline
 
-    pipeline = QueryPipeline(database, OptimizerOptions(backend="sqlite"))
+    pipeline = QueryPipeline(
+        database,
+        OptimizerOptions(backend="sqlite", sqlite_pushdown=pushdown),
+    )
     compiled = pipeline.compile_oql(source)
     if compiled.optimized is None:  # pragma: no cover - unnest is on
         return []
     store = shredded_store(database)
-    segments = compile_segments(compiled.optimized, store)
+    segments = compile_segments(compiled.optimized, store, pushdown=pushdown)
     statements: list[str] = []
 
     def visit(node: Operator) -> None:

@@ -15,7 +15,8 @@ execution; ``\\batch N`` sets the rows-per-chunk), ``\\parallel`` (toggle
 partitioned parallel execution; ``\\parallel N`` sets the worker count),
 ``\\backend``
 (switch between the in-memory engine and the SQLite shredding backend;
-``\\backend sqlite``), ``\\limits``
+``\\backend sqlite`` or, file-backed/out-of-core,
+``\\backend sqlite /tmp/store.db``), ``\\limits``
 (show/set per-query governor limits, e.g.
 ``\\limits timeout=1.0 max_rows=100000``),
 ``\\db <name>`` (switch database), and ``\\quit``.
@@ -161,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--db-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with --backend sqlite: shred into (and reuse) a file-backed "
+            "store at FILE instead of :memory:, so extents larger than RAM "
+            "execute out of core; a manifest decides reuse vs. re-shred"
+        ),
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -273,6 +284,7 @@ def run_query(
     max_rows: int | None = None,
     max_bytes: int | None = None,
     backend: str = "memory",
+    db_path: str | None = None,
     optimizer: Optimizer | None = None,
     params: dict[str, Any] | None = None,
     out=None,
@@ -291,6 +303,7 @@ def run_query(
             max_rows=max_rows,
             max_bytes=max_bytes,
             backend=backend,
+            db_path=db_path,
         )
         if batch_size is not None:
             from dataclasses import replace as _replace
@@ -505,14 +518,21 @@ def repl(db_name: str, out=None) -> None:
             if command == "backend":
                 from dataclasses import replace as _replace
 
+                db_path = None
                 if argument:
-                    # ``\backend NAME`` selects it; a bare ``\backend``
+                    # ``\backend NAME [PATH]`` selects it (PATH: a
+                    # file-backed sqlite store); a bare ``\backend``
                     # toggles between memory and sqlite.
-                    name = argument.strip().lower()
-                    if name not in ("memory", "sqlite"):
+                    pieces = argument.split(None, 1)
+                    name = pieces[0].strip().lower()
+                    if len(pieces) > 1:
+                        db_path = pieces[1].strip() or None
+                    if name not in ("memory", "sqlite") or (
+                        db_path and name != "sqlite"
+                    ):
                         print(
                             "usage: \\backend (toggle) or "
-                            "\\backend memory|sqlite",
+                            "\\backend memory|sqlite [db-path]",
                             file=out,
                         )
                         continue
@@ -522,8 +542,15 @@ def repl(db_name: str, out=None) -> None:
                         if optimizer.options.backend == "memory"
                         else "memory"
                     )
-                optimizer.options = _replace(optimizer.options, backend=name)
-                print(f"\\backend {name}", file=out)
+                optimizer.options = _replace(
+                    optimizer.options, backend=name, db_path=db_path
+                )
+                # Options are part of the plan-cache key, but clear anyway
+                # so stale CompiledQuery snapshots (and their store
+                # bindings) do not linger after a backend/store switch.
+                optimizer.plan_cache.clear()
+                suffix = f" (file: {db_path})" if db_path else ""
+                print(f"\\backend {name}{suffix}", file=out)
                 continue
             if command == "limits":
                 _repl_limits(optimizer, argument, out)
@@ -727,6 +754,7 @@ def main(argv: list[str] | None = None) -> int:
             max_rows=args.max_rows,
             max_bytes=args.max_bytes,
             backend=args.backend,
+            db_path=args.db_path,
             params=params,
         )
     except Exception as exc:  # noqa: BLE001 - CLI reports, not crashes

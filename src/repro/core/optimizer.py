@@ -117,6 +117,15 @@ class OptimizerOptions:
     #: (repro.backends.shred), stitching results back with the reference
     #: nest semantics.  Requires ``unnest=True``.
     backend: str = "memory"
+    #: SQLite backend: shred into (and reuse) a file-backed store at this
+    #: path instead of ``:memory:`` — extents larger than RAM execute out
+    #: of core.  A manifest (schema version + per-extent content digest)
+    #: decides whether an existing file can be reused or must be re-shred.
+    db_path: str | None = None
+    #: SQLite backend: lower Reduce/Nest aggregation into SQL GROUP BY +
+    #: aggregate expressions (the fast path).  Off pins the original
+    #: stitch-in-Python lowering, kept as an oracle path.
+    sqlite_pushdown: bool = True
 
 
 # ---------------------------------------------------------------------------

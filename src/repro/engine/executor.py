@@ -65,8 +65,10 @@ class ExecutionStats:
     governor_peak_bytes: int = 0
     #: Which backend ran the query ("memory" or "sqlite").
     backend: str = "memory"
-    #: On the SQLite backend: one (sql, rows, milliseconds) entry per flat
-    #: query the shredding translation executed.
+    #: On the SQLite backend: one (sql, rows, sql ms, decode ms) entry per
+    #: flat query the shredding translation executed — SQL execution time
+    #: split from Python decode/stitch time, so a pushdown win is visible
+    #: per query.
     flat_queries: list = field(default_factory=list)
 
     @property
@@ -85,8 +87,11 @@ class ExecutionStats:
         lines = [f"execution: {self.elapsed_ms:.3f} ms, {self.total_rows} rows"]
         if self.backend != "memory":
             lines[0] += f" (backend={self.backend})"
-        for sql, rows, ms in self.flat_queries:
-            lines.append(f"flat query: {rows} rows, {ms:.3f} ms :: {sql}")
+        for sql, rows, sql_ms, decode_ms in self.flat_queries:
+            lines.append(
+                f"flat query: {rows} rows, {sql_ms:.3f} ms sql + "
+                f"{decode_ms:.3f} ms decode :: {sql}"
+            )
         if self.cache_hits or self.cache_misses:
             source = "cached plan" if self.from_cache else "fresh compile"
             lines[0] += (

@@ -128,7 +128,11 @@ def check_fault_injection(
     The same budget also runs through the parallel exchange layer (3
     workers sharing the governor), where the properties extend to: the
     outcome category is interleaving-independent, and the worker pool
-    drains fully even when a budget trips mid-query.
+    drains fully even when a budget trips mid-query; and through the
+    SQLite shredding backend, where the governor is enforced *inside*
+    SQLite via a progress handler — a trip mid-SELECT must still surface
+    as a structured GovernorError (never a raw sqlite3 exception) and the
+    store must stay reusable for the re-run.
     """
     from repro.core.optimizer import OptimizerOptions
     from repro.core.pipeline import QueryPipeline
@@ -199,6 +203,38 @@ def check_fault_injection(
         violations.append(
             f"parallel fault injection leaked worker threads: "
             f"{threading.active_count()} alive, baseline {baseline_threads}"
+        )
+    # The same budget through the SQLite shredding backend: the governor
+    # runs inside SQLite (progress handler) and between flat queries
+    # (fetch batches), so a trip mid-SELECT must still be a structured
+    # GovernorError.  BackendUnsupportedError is a QueryError subclass, so
+    # refused samples land in the "error" category — fine, and still
+    # required to be deterministic.
+    sql_limited = QueryPipeline(
+        db, OptimizerOptions(max_rows=budget, backend="sqlite")
+    )
+
+    def run_sql_limited() -> str:
+        try:
+            sql_limited.run_oql(source, **dict(params))
+            return "ok"
+        except GovernorError:
+            return "tripped"
+        except QueryError:
+            return "error"
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            violations.append(
+                f"sqlite fault injection (max_rows={budget}) leaked a raw "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return "leak"
+
+    sql_first = run_sql_limited()
+    sql_second = run_sql_limited()
+    if "leak" not in (sql_first, sql_second) and sql_first != sql_second:
+        violations.append(
+            f"sqlite fault injection not deterministic: first run "
+            f"{sql_first!r}, second run {sql_second!r} (max_rows={budget})"
         )
     # Clean-state probe: unlimited re-execution must match the reference.
     try:

@@ -30,9 +30,13 @@ that: it runs a query through *every* path the repo can execute —
   placeholder (:func:`repro.oql.params.parameterize_literals`), executed
   with the literals re-supplied as bind values;
 * ``sqlite-shredded`` — the query-shredding SQLite backend
-  (:mod:`repro.backends.shred`): extents flattened into SQLite tables,
-  join/unnest chains lowered to flat SELECTs, results stitched back — an
-  *independently implemented* executor for the same semantics;
+  (:mod:`repro.backends.shred`) with aggregation pushdown *off*: extents
+  flattened into SQLite tables, join/unnest chains lowered to flat
+  SELECTs, results stitched back in Python — an *independently
+  implemented* executor for the same semantics;
+* ``sqlite-shredded-pushdown`` — the SQLite backend's fast path:
+  Reduce/Nest aggregation lowered into SQL ``GROUP BY`` + aggregate
+  expressions, nested results reassembled by ordered linear merge;
 * ``sqlite-shredded-cached-plan`` — the SQLite backend again, from a
   plan-cache hit (the shredded store is also cached; both caches must
   stay coherent) —
@@ -320,9 +324,12 @@ PATHS: tuple[tuple[str, Callable[[str, Mapping[str, Any], Database], Any]], ...]
     ("pipeline-cached", _path_pipeline_cached),
     ("param-roundtrip", _path_param_roundtrip),
     # An independently implemented executor: query shredding over stdlib
-    # sqlite3 (flat SELECTs + Python stitching).  May *skip* (typed
-    # BackendUnsupportedError) on databases it cannot flatten.
-    ("sqlite-shredded", _pipeline_path(backend="sqlite")),
+    # sqlite3.  May *skip* (typed BackendUnsupportedError) on databases it
+    # cannot flatten.  The first path pins the stitch-in-Python lowering
+    # (pushdown off); the second runs the GROUP-BY-pushdown fast path, so
+    # the two SQL lowerings are a differential axis of their own.
+    ("sqlite-shredded", _pipeline_path(backend="sqlite", sqlite_pushdown=False)),
+    ("sqlite-shredded-pushdown", _pipeline_path(backend="sqlite")),
     ("sqlite-shredded-cached-plan", _path_sqlite_cached),
 )
 

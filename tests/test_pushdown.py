@@ -1,0 +1,378 @@
+"""Tests for aggregation pushdown and the file-backed (out-of-core) store.
+
+Four concerns, mirroring ISSUE 9's tentpole:
+
+* **parity**: every pushable aggregate monoid (sum/count/avg/min/max,
+  some/all) agrees with the reference evaluator across the divergence-prone
+  axes — 3VL predicates, NULL aggregate inputs, NULL grouping keys, empty
+  groups, and empty extents — with pushdown both on and off;
+* **the pushdown actually fires**: golden checks that grouping/aggregate
+  queries lower to a single ``GROUP BY`` statement and EXPLAIN carries the
+  ``[sql:group]``/``[sql:agg]``/``[sql:merge]`` markers;
+* **index-backed probes**: ``EXPLAIN QUERY PLAN`` goldens asserting that
+  ``$parent`` unnests and equi-joins discovered at lowering time run off
+  indexes (satellite: index coverage + ANALYZE);
+* **out of core**: file-backed round-trip (shred → close → reopen → reuse),
+  stale-manifest re-shred, plan-cache interaction on backend/db-path
+  switches, and the governor tripping *inside* a SELECT via the progress
+  handler.
+"""
+
+from __future__ import annotations
+
+import io
+import sqlite3
+
+import pytest
+
+from corpus import CORPUS
+from repro.backends.shred import shredded_sql, shredded_store
+from repro.cli import DATABASES
+from repro.core.optimizer import OptimizerOptions
+from repro.core.pipeline import QueryPipeline
+from repro.data.database import Database
+from repro.data.schema import FLOAT, INT, STRING, Schema
+from repro.data.values import NULL, Record
+from repro.errors import BudgetExceeded
+from repro.testing.oracle import results_equal
+
+
+def _pipeline(db, **options):
+    return QueryPipeline(db, OptimizerOptions(**options))
+
+
+def _agg_db():
+    """Rows exercising every divergence axis: NULL values, NULL keys,
+    groups whose every contribution is filtered out, and an empty extent."""
+    schema = Schema()
+    schema.define_class("T", k=INT, v=INT, f=FLOAT, s=STRING)
+    schema.define_extent("Ts", "T")
+    schema.define_extent("Empty", "T")
+    db = Database(schema)
+    db.add_extent(
+        "Ts",
+        [
+            Record(k=1, v=10, f=1.5, s="a"),
+            Record(k=1, v=NULL, f=2.5, s="b"),
+            Record(k=2, v=3, f=NULL, s="a"),
+            Record(k=NULL, v=7, f=0.5, s=NULL),
+            Record(k=2, v=5, f=4.0, s="c"),
+            Record(k=3, v=NULL, f=NULL, s="d"),
+        ],
+    )
+    db.add_extent("Empty", [])
+    return db
+
+
+# The sweep: every pushable monoid crossed with 3VL/NULL/empty shapes.
+PARITY_QUERIES = [
+    # --- root Reduce aggregates (whole extent, [sql:agg]) ---
+    "sum( select t.v from t in Ts )",
+    "sum( select t.f from t in Ts )",
+    "count( select t from t in Ts )",
+    "avg( select t.v from t in Ts )",
+    "min( select t.v from t in Ts )",
+    "max( select t.v from t in Ts )",
+    # 3VL predicate: NULL comparisons drop rows on both engines.
+    "sum( select t.v from t in Ts where t.f > 1.0 )",
+    "count( select t from t in Ts where t.s = \"a\" )",
+    "avg( select t.f from t in Ts where t.v > 4 )",
+    "max( select t.v from t in Ts where t.f > 1.0 )",
+    # Quantifiers (some/all via MAX/MIN over CASE).
+    "exists t in Ts: t.v > 5",
+    "exists t in Ts: t.v > 100",
+    "for all t in Ts: t.v > 0",
+    "for all t in Ts: t.k = 1",
+    "exists t in Empty: t.v > 0",
+    "for all t in Empty: t.v > 0",
+    # Empty input: sum -> 0, count -> 0, avg -> NULL, min -> inf, max -> 0.
+    "sum( select t.v from t in Empty )",
+    "count( select t from t in Empty )",
+    "avg( select t.v from t in Empty )",
+    "min( select t.v from t in Empty )",
+    "max( select t.v from t in Empty )",
+    # Predicate filters everything out (same zeros, via WHERE).
+    "sum( select t.v from t in Ts where t.v > 1000 )",
+    "avg( select t.v from t in Ts where t.v > 1000 )",
+    # --- Nest groupings ([sql:group]): NULL keys group under NULL ---
+    "select distinct t.k, sum(t.v) as S from Ts t group by t.k",
+    "select distinct t.k, count(t) as N from Ts t group by t.k",
+    "select distinct t.k, avg(t.f) as A from Ts t group by t.k",
+    "select distinct t.k, max(t.v) as M from Ts t group by t.k",
+    "select distinct t.s, sum(t.v) as S from Ts t group by t.s",
+    # Group keys with a 3VL row filter.
+    "select distinct t.k, sum(t.v) as S from Ts t where t.f > 1.0 group by t.k",
+    "select distinct t.k, avg(t.v) as A from Ts t where t.s = \"a\" group by t.k",
+    # Grouped quantifier heads.
+    "select distinct e.dno, max(e.salary) as top from Employees e group by e.dno",
+    # Collection-valued nests (the ordered-merge path, [sql:merge]).
+    "select distinct struct( D: d, E: ( select distinct e "
+    "from e in Employees where e.dno = d.dno ) ) from d in Departments",
+]
+
+
+class TestPushdownParity:
+    @pytest.mark.parametrize("source", PARITY_QUERIES)
+    def test_parity_pushdown_on_and_off(self, source):
+        db = _agg_db() if "Ts" in source or "Empty" in source else DATABASES["company"]()
+        reference = _pipeline(db).run_oql(source)
+        pushed = _pipeline(db, backend="sqlite").run_oql(source)
+        stitched = _pipeline(
+            db, backend="sqlite", sqlite_pushdown=False
+        ).run_oql(source)
+        assert results_equal(reference, pushed)
+        assert results_equal(reference, stitched)
+
+
+class TestPushdownFires:
+    def test_reduce_lowers_to_single_aggregate(self):
+        db = _agg_db()
+        statements = shredded_sql(db, "sum( select t.v from t in Ts )")
+        assert len(statements) == 1
+        assert "COALESCE(SUM(" in statements[0]
+        assert "GROUP BY" not in statements[0]
+
+    def test_group_by_lowers_to_single_statement(self):
+        db = _agg_db()
+        statements = shredded_sql(
+            db, "select distinct t.k, sum(t.v) as S from Ts t group by t.k"
+        )
+        assert len(statements) == 1
+        assert "GROUP BY" in statements[0]
+        assert 'ORDER BY MIN("$rn")' in statements[0]
+
+    def test_pushdown_off_pins_the_stitch_path(self):
+        db = _agg_db()
+        statements = shredded_sql(
+            db,
+            "select distinct t.k, sum(t.v) as S from Ts t group by t.k",
+            pushdown=False,
+        )
+        assert all("GROUP BY" not in sql for sql in statements)
+
+    def test_explain_markers(self):
+        db = DATABASES["company"]()
+        compiled = _pipeline(db, backend="sqlite").compile_oql(
+            "select distinct e.dno, avg(e.salary) as S from Employees e "
+            "where e.age > 30 group by e.dno"
+        )
+        explain = compiled.explain(db)
+        assert "[sql:group]" in explain
+        agg = _pipeline(db, backend="sqlite").compile_oql(
+            "sum( select e.salary from e in Employees )"
+        )
+        assert "[sql:agg]" in agg.explain(db)
+
+    def test_explain_analyze_splits_sql_and_decode_time(self):
+        db = DATABASES["company"]()
+        stats = _pipeline(db, backend="sqlite").run_oql_stats(
+            "select distinct e.dno, avg(e.salary) as S from Employees e "
+            "group by e.dno"
+        )
+        assert stats.flat_queries
+        for sql, rows, sql_ms, decode_ms in stats.flat_queries:
+            assert sql_ms >= 0.0 and decode_ms >= 0.0
+        assert "ms sql" in stats.report() and "ms decode" in stats.report()
+
+
+class TestIndexBackedProbes:
+    """EXPLAIN QUERY PLAN goldens: probes run off indexes, not scans."""
+
+    def _plan(self, db, source):
+        store = shredded_store(db)
+        [sql] = shredded_sql(db, source)
+        rows = store.connection.execute(
+            f"EXPLAIN QUERY PLAN {sql}"
+        ).fetchall()
+        return "\n".join(row[-1] for row in rows)
+
+    def test_parent_unnest_uses_child_index(self):
+        db = DATABASES["company"]()
+        plan = self._plan(
+            db,
+            "select distinct struct( E: e.name, C: c.name ) "
+            "from e in Employees, c in e.children",
+        )
+        assert "USING INDEX ix$Employees$children" in plan
+
+    def test_equi_join_gets_a_lowering_time_index(self):
+        db = DATABASES["company"]()
+        source = (
+            "select distinct struct( D: d.name, E: e.name ) "
+            "from d in Departments, e in Employees where e.dno = d.dno"
+        )
+        plan = self._plan(db, source)
+        store = shredded_store(db)
+        indexed = {
+            row[0]
+            for row in store.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index' "
+                "AND name LIKE 'ix$join$%'"
+            )
+        }
+        assert "ix$join$Employees$dno" in indexed
+        assert "USING INDEX ix$join$" in plan
+
+    def test_analyze_ran(self):
+        db = DATABASES["company"]()
+        store = shredded_store(db)
+        stats = store.connection.execute(
+            "SELECT count(*) FROM sqlite_stat1"
+        ).fetchone()
+        assert stats[0] > 0
+
+
+class TestFileBackedStore:
+    def test_round_trip_reuses_the_shred(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        source = "select distinct e.name from e in Employees where e.salary > 70000"
+        first_db = DATABASES["company"]()
+        first = _pipeline(first_db, backend="sqlite", db_path=path).run_oql(source)
+        assert shredded_store(first_db, db_path=path).reused is False
+        # A fresh process would see a fresh Database object: same contents,
+        # new OIDs.  The manifest fingerprint is value-based, so the shred
+        # on disk is reused rather than rebuilt.
+        second_db = DATABASES["company"]()
+        store = shredded_store(second_db, db_path=path)
+        assert store.reused is True
+        second = _pipeline(second_db, backend="sqlite", db_path=path).run_oql(source)
+        assert results_equal(first, second)
+        assert results_equal(second, _pipeline(second_db).run_oql(source))
+
+    def test_object_results_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        source = "select distinct e from e in Employees where e.dno = 1"
+        first_db = DATABASES["company"]()
+        _pipeline(first_db, backend="sqlite", db_path=path).run_oql(source)
+        second_db = DATABASES["company"]()
+        assert shredded_store(second_db, db_path=path).reused is True
+        reopened = _pipeline(second_db, backend="sqlite", db_path=path).run_oql(source)
+        assert results_equal(reopened, _pipeline(second_db).run_oql(source))
+
+    def test_stale_manifest_re_shreds(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        db = _agg_db()
+        source = "sum( select t.v from t in Ts )"
+        assert _pipeline(db, backend="sqlite", db_path=path).run_oql(source) == 25
+        # Different contents -> different fingerprint -> re-shred, and the
+        # query sees the new data, not the stale file.
+        schema = Schema()
+        schema.define_class("T", k=INT, v=INT, f=FLOAT, s=STRING)
+        schema.define_extent("Ts", "T")
+        schema.define_extent("Empty", "T")
+        changed = Database(schema)
+        changed.add_extent("Ts", [Record(k=1, v=100, f=0.0, s="z")])
+        changed.add_extent("Empty", [])
+        store = shredded_store(changed, db_path=path)
+        assert store.reused is False
+        assert (
+            _pipeline(changed, backend="sqlite", db_path=path).run_oql(source)
+            == 100
+        )
+
+    def test_file_backed_corpus_sweep(self, tmp_path):
+        dbs = {family: DATABASES[family]() for family in DATABASES}
+        for query in CORPUS:
+            db = dbs[query.family]
+            path = str(tmp_path / f"{query.family}.db")
+            memory = _pipeline(db).run_oql(query.oql)
+            filed = _pipeline(db, backend="sqlite", db_path=path).run_oql(query.oql)
+            assert results_equal(memory, filed), query.name
+
+
+class TestPlanCacheInteraction:
+    def test_switching_backend_and_db_path_mid_session(self, tmp_path):
+        from dataclasses import replace
+
+        db = DATABASES["company"]()
+        source = "select distinct e.name from e in Employees where e.salary > 70000"
+        pipeline = QueryPipeline(db)
+        memory = pipeline.run_oql(source)
+        memory_again = pipeline.run_oql(source)  # cache hit
+        pipeline.options = replace(pipeline.options, backend="sqlite")
+        pipeline.plan_cache.clear()
+        shredded = pipeline.run_oql(source)
+        path = str(tmp_path / "switch.db")
+        pipeline.options = replace(pipeline.options, db_path=path)
+        pipeline.plan_cache.clear()
+        filed = pipeline.run_oql(source)
+        pipeline.options = replace(
+            pipeline.options, backend="memory", db_path=None
+        )
+        pipeline.plan_cache.clear()
+        back = pipeline.run_oql(source)
+        for result in (memory_again, shredded, filed, back):
+            assert results_equal(memory, result)
+
+    def test_options_key_plan_cache_without_manual_clear(self, tmp_path):
+        # Distinct pipelines (distinct options) never share compiled plans:
+        # the cache key includes the options snapshot, so a db_path switch
+        # cannot serve a stale store binding.
+        db = DATABASES["company"]()
+        source = "count( select e from e in Employees )"
+        a = _pipeline(db, backend="sqlite").run_oql(source)
+        b = _pipeline(
+            db, backend="sqlite", db_path=str(tmp_path / "k.db")
+        ).run_oql(source)
+        assert a == b
+
+    def test_repl_backend_command_accepts_db_path(self, tmp_path, monkeypatch):
+        from repro import cli
+
+        path = str(tmp_path / "repl.db")
+        lines = iter(
+            [
+                f"\\backend sqlite {path}",
+                "count( select e from e in Employees );",
+                "\\backend memory",
+                "count( select e from e in Employees );",
+                "\\quit",
+            ]
+        )
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        out = io.StringIO()
+        cli.repl("company", out=out)
+        text = out.getvalue()
+        assert f"\\backend sqlite (file: {path})" in text
+        assert "\\backend memory" in text
+
+    def test_cli_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--backend", "sqlite", "--db-path", "/tmp/x.db", "count( select e from e in Employees )"]
+        )
+        assert args.db_path == "/tmp/x.db"
+
+
+class TestGovernorInsideSqlite:
+    def _big_db(self, rows=400):
+        schema = Schema()
+        schema.define_class("R", k=INT, v=INT)
+        schema.define_extent("Rs", "R")
+        db = Database(schema)
+        db.add_extent(
+            "Rs", [Record(k=i % 7, v=i) for i in range(rows)]
+        )
+        return db
+
+    def test_budget_trips_mid_select(self):
+        # The aggregate produces ONE result row, so fetch-time accounting
+        # alone could never trip a budget of 1 mid-query; only the progress
+        # handler (ticking every few thousand VM opcodes inside the
+        # cross-join SELECT) can — and it must surface as the structured
+        # governor error, not sqlite3.OperationalError("interrupted").
+        db = self._big_db()
+        source = "sum( select a.v + b.v from a in Rs, b in Rs where a.k = b.k )"
+        with pytest.raises(BudgetExceeded):
+            _pipeline(db, backend="sqlite", max_rows=1).run_oql(source)
+
+    def test_store_stays_usable_after_a_trip(self):
+        db = self._big_db()
+        source = "sum( select a.v + b.v from a in Rs, b in Rs where a.k = b.k )"
+        limited = _pipeline(db, backend="sqlite", max_rows=1)
+        with pytest.raises(BudgetExceeded):
+            limited.run_oql(source)
+        unlimited = _pipeline(db, backend="sqlite")
+        reference = _pipeline(db).run_oql(source)
+        assert unlimited.run_oql(source) == reference
