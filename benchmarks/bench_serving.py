@@ -1,0 +1,240 @@
+"""Serving-layer load benchmark: ``BENCH_serving.json``.
+
+Spins up the real server (:class:`repro.server.ServerThread` — the asyncio
+front-end on its own event loop) and drives it with N concurrent blocking
+clients over a corpus-derived workload, for N ∈ {1, 4, 16}, against both
+the in-memory engine and the file-backed SQLite shredding backend.  Every
+response is cross-checked value-for-value against in-process execution of
+the same query — a serving layer that changes answers under load has no
+business reporting a throughput number.
+
+Reported per scenario: sustained qps, mean and p50/p95/p99 latency, the
+plan-cache hit rate, and the error count (which must be zero).  Latency is
+measured per request at the client, so it includes protocol encode/decode
+and the socket round-trip — the number a real client would see.
+
+``--quick`` (CI smoke) shrinks the data and request counts and asserts a
+conservative throughput floor on the best memory-backend scenario, plus
+the always-on invariants: zero transport/query errors and zero result
+mismatches in every scenario.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full report
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "tests"))
+sys.path.insert(0, str(_REPO / "src"))
+
+from corpus import CORPUS  # noqa: E402
+
+from repro.core.optimizer import Optimizer, OptimizerOptions  # noqa: E402
+from repro.data.datagen import company_database  # noqa: E402
+from repro.server import ServeClient, ServerConfig, ServerThread  # noqa: E402
+
+CLIENT_COUNTS = (1, 4, 16)
+
+#: CI floor: best memory-backend scenario must sustain at least this many
+#: queries per second end-to-end (socket + JSON + execution).  Deliberately
+#: conservative — shared CI runners are noisy; the full run on quiet
+#: hardware lands far above it.
+QUICK_QPS_FLOOR = 25.0
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def run_scenario(
+    host: str,
+    port: int,
+    queries: list[tuple[str, str]],
+    references: dict[str, Any],
+    clients: int,
+    requests_per_client: int,
+    backend: str,
+) -> dict[str, Any]:
+    """N concurrent clients, each issuing its share of the workload."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    mismatches: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def one_client(index: int) -> None:
+        with ServeClient(host, port, timeout=120) as client:
+            if backend != "memory":
+                reply = client.set_options(backend=backend)
+                if not reply.ok:
+                    errors.append(f"client {index} set: {reply.get('error')}")
+                    barrier.wait()
+                    return
+            barrier.wait()  # line up the start so qps means something
+            for step in range(requests_per_client):
+                name, oql = queries[(index + step) % len(queries)]
+                start = time.perf_counter()
+                reply = client.query(oql)
+                latencies[index].append(
+                    (time.perf_counter() - start) * 1000.0
+                )
+                if not reply.ok:
+                    errors.append(
+                        f"client {index} {name}: {reply.get('error')}"
+                    )
+                elif reply.value() != references[name]:
+                    mismatches.append(f"client {index} {name}")
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - wall_start
+
+    with ServeClient(host, port) as probe:
+        stats = probe.stats()["stats"]
+    flat = sorted(value for per in latencies for value in per)
+    total = len(flat)
+    return {
+        "backend": backend,
+        "clients": clients,
+        "requests": total,
+        "wall_s": round(wall_s, 3),
+        "qps": round(total / wall_s, 1) if wall_s > 0 else 0.0,
+        "mean_ms": round(statistics.fmean(flat), 3) if flat else 0.0,
+        "p50_ms": round(_percentile(flat, 0.50), 3),
+        "p95_ms": round(_percentile(flat, 0.95), 3),
+        "p99_ms": round(_percentile(flat, 0.99), 3),
+        "errors": len(errors),
+        "mismatches": len(mismatches),
+        "error_samples": errors[:3],
+        "mismatch_samples": mismatches[:3],
+        "plan_cache_hit_rate": round(
+            stats["plan_cache"]["hits"]
+            / max(1, stats["plan_cache"]["hits"] + stats["plan_cache"]["misses"]),
+            3,
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small data + request counts; assert the CI floors",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_REPO / "BENCH_serving.json",
+        help="report destination (default: repo root BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        db = company_database(num_employees=40, num_departments=8, seed=1998)
+        requests_per_client = 24
+    else:
+        db = company_database(num_employees=200, num_departments=12, seed=1998)
+        requests_per_client = 80
+
+    queries = [(q.name, q.oql) for q in CORPUS if q.family == "company"]
+    references = {
+        name: Optimizer(db).run_oql(oql) for name, oql in queries
+    }
+
+    scenarios: list[dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="bench_serving_") as tmp:
+        for backend in ("memory", "sqlite"):
+            options = OptimizerOptions()
+            if backend == "sqlite":
+                options = OptimizerOptions(db_path=str(Path(tmp) / "shred.db"))
+            for clients in CLIENT_COUNTS:
+                # A fresh server per scenario: clean metrics, cold cache —
+                # scenarios stay comparable instead of inheriting warmth.
+                config = ServerConfig(database=db, options=options, workers=8)
+                with ServerThread(config) as (host, port):
+                    scenario = run_scenario(
+                        host,
+                        port,
+                        queries,
+                        references,
+                        clients,
+                        requests_per_client,
+                        backend,
+                    )
+                scenarios.append(scenario)
+                print(
+                    f"{backend:>6} backend, {clients:>2} clients: "
+                    f"{scenario['qps']:>7.1f} qps, "
+                    f"p50 {scenario['p50_ms']:.1f} ms, "
+                    f"p95 {scenario['p95_ms']:.1f} ms, "
+                    f"p99 {scenario['p99_ms']:.1f} ms, "
+                    f"errors {scenario['errors']}"
+                )
+
+    report = {
+        "benchmark": "serving layer: concurrent clients vs one server",
+        "mode": "quick" if args.quick else "full",
+        "workload": (
+            f"{len(queries)} company-family corpus queries round-robin, "
+            f"{requests_per_client} requests per client, cross-checked "
+            "against in-process execution"
+        ),
+        "timing": "per-request client-side latency, wall-clock ms",
+        "scenarios": scenarios,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {args.output}]")
+
+    failures = []
+    for scenario in scenarios:
+        label = f"{scenario['backend']}/{scenario['clients']}"
+        if scenario["errors"]:
+            failures.append(
+                f"{label}: {scenario['errors']} errors "
+                f"(e.g. {scenario['error_samples']})"
+            )
+        if scenario["mismatches"]:
+            failures.append(
+                f"{label}: {scenario['mismatches']} result mismatches"
+            )
+    if args.quick:
+        best_memory_qps = max(
+            s["qps"] for s in scenarios if s["backend"] == "memory"
+        )
+        if best_memory_qps < QUICK_QPS_FLOOR:
+            failures.append(
+                f"throughput floor: best memory-backend scenario "
+                f"{best_memory_qps} qps < {QUICK_QPS_FLOOR}"
+            )
+    if failures:
+        print("FAILURES:", *failures, sep="\n  ")
+        return 1
+    print("all serving invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

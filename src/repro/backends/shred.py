@@ -82,6 +82,7 @@ demand, and ``ANALYZE`` keeps the SQLite planner's estimates honest.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 import sqlite3
@@ -89,6 +90,7 @@ import threading
 import time
 import weakref
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -272,12 +274,24 @@ class ShreddedStore:
         if cache_kib is None and db_path is not None:
             cache_kib = _FILE_CACHE_KIB
         self.cache_kib = cache_kib
-        self.connection = sqlite3.connect(
-            db_path or ":memory:", check_same_thread=False
-        )
-        # Autocommit; shredding wraps itself in an explicit transaction.
-        self.connection.isolation_level = None
         self.lock = threading.Lock()
+        # Connection policy: an in-memory store IS one connection (a second
+        # ``:memory:`` connection would see a different, empty database), so
+        # it stays shared across threads with ``self.lock`` serializing
+        # statements.  A file-backed store gives every thread its own
+        # connection (see :meth:`connection`): concurrent sessions then
+        # read in parallel under WAL, and — the bug this replaced — never
+        # interleave cursors, statement caches, or progress handlers on a
+        # connection another thread is mid-query on.
+        self._shared_connection: sqlite3.Connection | None = None
+        self._tlocal = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        first_connection = self._open_connection()
+        if db_path is None:
+            self._shared_connection = first_connection
+        else:
+            self._tlocal.connection = first_connection
         #: extent name -> root table (only extents that shredded cleanly).
         self.tables: dict[str, _Table] = {}
         #: extent name -> refusal reason (never silent: surfaced by extent()).
@@ -290,13 +304,17 @@ class ShreddedStore:
         self._extent_cache: dict[str, CollectionValue] = {}
         self._next_surrogate = -1
         self._join_indexed: set[tuple[str, str]] = set()
-        #: Monotonic nonce for governed statements (see _execute).
-        self._governed_nonce = 0
+        #: Monotonic nonce for governed statements (see _execute).  An
+        #: itertools counter: ``next()`` is atomic under the GIL, where the
+        #: old ``+= 1`` read-modify-write raced concurrent sessions into
+        #: sharing a nonce (and thus a cached statement's VM-step phase,
+        #: corrupting per-query governor accounting).
+        self._governed_nonce = itertools.count(1)
         #: (plan id, pushdown) -> (plan, segments).  The strong plan
         #: reference keeps ``id()`` from being recycled while the entry
         #: lives; plan-cache hits then skip re-lowering entirely.
         self._segment_cache: dict[tuple[int, bool], tuple[Any, dict]] = {}
-        self._configure_pragmas()
+        self._segment_cache_lock = threading.Lock()
         if db_path is not None:
             fingerprint = self._fingerprint()
             if self._try_reuse(fingerprint):
@@ -311,8 +329,48 @@ class ShreddedStore:
 
     # -- connection / file management ---------------------------------------
 
-    def _configure_pragmas(self) -> None:
-        execute = self.connection.execute
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The calling thread's connection.
+
+        In-memory stores share one connection (callers serialize on
+        :attr:`lock`); file-backed stores hand every thread its own,
+        opened lazily against :attr:`db_path` with the same pragmas.
+        """
+        shared = self._shared_connection
+        if shared is not None:
+            return shared
+        connection = getattr(self._tlocal, "connection", None)
+        if connection is None:
+            connection = self._open_connection()
+            self._tlocal.connection = connection
+        return connection
+
+    def _open_connection(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(
+            self.db_path or ":memory:", check_same_thread=False
+        )
+        # Autocommit; shredding wraps itself in an explicit transaction.
+        connection.isolation_level = None
+        self._configure_pragmas(connection)
+        with self._connections_lock:
+            self._connections.append(connection)
+        return connection
+
+    def close(self) -> None:
+        """Close every connection this store has opened (all threads)."""
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort cleanup
+                pass
+        self._shared_connection = None
+        self._tlocal = threading.local()
+
+    def _configure_pragmas(self, connection: sqlite3.Connection) -> None:
+        execute = connection.execute
         if self.db_path is not None:
             # Streaming-friendly file mode: WAL keeps readers unblocked,
             # NORMAL sync is durable enough for a rebuildable cache, and a
@@ -419,6 +477,23 @@ class ShreddedStore:
                 (key, value),
             )
 
+    @contextmanager
+    def statement_guard(self) -> Iterator[sqlite3.Connection]:
+        """Exclusive use of the calling thread's connection for one
+        statement's full lifetime (execute through final fetch).
+
+        In-memory stores serialize on :attr:`lock` — the connection is
+        shared, and interleaving another thread's cursor (or progress
+        handler) mid-fetch is exactly the corruption this guards against.
+        File-backed stores yield the thread's own connection with no lock:
+        WAL readers proceed in parallel.
+        """
+        if self._shared_connection is not None:
+            with self.lock:
+                yield self._shared_connection
+        else:
+            yield self.connection
+
     def cached_segments(self, plan: Any, pushdown: bool) -> dict:
         """The compiled segments for *plan*, lowered once per store.
 
@@ -426,13 +501,17 @@ class ShreddedStore:
         same plan object) many times; re-running the lowering on each
         execution would dominate small queries."""
         key = (id(plan), pushdown)
-        hit = self._segment_cache.get(key)
-        if hit is not None and hit[0] is plan:
-            return hit[1]
+        with self._segment_cache_lock:
+            hit = self._segment_cache.get(key)
+            if hit is not None and hit[0] is plan:
+                return hit[1]
+        # Lowering is pure w.r.t. the cache (index creation serializes on
+        # self.lock); concurrent first executions may both lower, one wins.
         segments = compile_segments(plan, self, pushdown=pushdown)
-        if len(self._segment_cache) >= 128:
-            self._segment_cache.clear()
-        self._segment_cache[key] = (plan, segments)
+        with self._segment_cache_lock:
+            if len(self._segment_cache) >= 128:
+                self._segment_cache.clear()
+            self._segment_cache[key] = (plan, segments)
         return segments
 
     def prepare_indexes(self, requests: set[tuple[str, str]]) -> list[str]:
@@ -655,8 +734,8 @@ class ShreddedStore:
             f"FROM {_q(table.name)} ORDER BY {order}"
         )
         grouped: dict[int | None, list[Any]] = {}
-        with self.lock:
-            rows = self.connection.execute(sql).fetchall()
+        with self.statement_guard() as connection:
+            rows = connection.execute(sql).fetchall()
         for values in rows:
             row = dict(zip(columns, values))
             parent = row.get("$parent")
@@ -781,6 +860,7 @@ _STORES: (
     "weakref.WeakKeyDictionary[Database, tuple[int, str | None, ShreddedStore]]"
 ) = weakref.WeakKeyDictionary()
 _STORES_LOCK = threading.Lock()
+_STORES_BUILD_LOCK = threading.Lock()
 
 
 def shredded_store(
@@ -795,7 +875,8 @@ def shredded_store(
     file-backed one are different images.  A file-backed store that finds a
     matching manifest fingerprint reuses the on-disk shred.
     """
-    with _STORES_LOCK:
+
+    def lookup() -> ShreddedStore | None:
         entry = _STORES.get(database)
         if (
             entry is not None
@@ -803,9 +884,24 @@ def shredded_store(
             and entry[1] == db_path
         ):
             return entry[2]
-    store = ShreddedStore(database, db_path=db_path, cache_kib=cache_kib)
+        return None
+
     with _STORES_LOCK:
-        _STORES[database] = (database.schema_version, db_path, store)
+        store = lookup()
+        if store is not None:
+            return store
+    # Serialize builds: two threads that both miss must not each shred the
+    # same database (and, file-backed, write the same file) concurrently.
+    # Creation is rare — once per schema version — so one coarse lock is
+    # fine; re-check under it so the loser adopts the winner's store.
+    with _STORES_BUILD_LOCK:
+        with _STORES_LOCK:
+            store = lookup()
+            if store is not None:
+                return store
+        store = ShreddedStore(database, db_path=db_path, cache_kib=cache_kib)
+        with _STORES_LOCK:
+            _STORES[database] = (database.schema_version, db_path, store)
     return store
 
 
@@ -1975,15 +2071,16 @@ class _HybridEvaluator(PlanEvaluator):
             # at a different opcode phase each run, making checkpoint
             # charges nondeterministic.  A nonce comment forces a fresh
             # prepare (phase zero) for governed statements only; the
-            # ungoverned hot path keeps the cache.
-            store._governed_nonce += 1
-            sql = f"{segment.sql} /* governed:{store._governed_nonce} */"
+            # ungoverned hot path keeps the cache.  (next() on the shared
+            # counter is atomic; the statement cache itself is
+            # per-connection, so concurrent sessions never share phase.)
+            sql = f"{segment.sql} /* governed:{next(store._governed_nonce)} */"
         start = time.perf_counter()
         rows: list[Any] = []
-        with store.lock:
-            trap = _install_progress(store.connection, governor)
+        with store.statement_guard() as connection:
+            trap = _install_progress(connection, governor)
             try:
-                cursor = store.connection.execute(sql)
+                cursor = connection.execute(sql)
                 while True:
                     batch = cursor.fetchmany(_FETCH_BATCH)
                     if governor is not None and batch:
@@ -1999,7 +2096,7 @@ class _HybridEvaluator(PlanEvaluator):
                 ) from exc
             finally:
                 if trap is not None:
-                    store.connection.set_progress_handler(None, 0)
+                    connection.set_progress_handler(None, 0)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.flat_queries.append((segment.sql, len(rows), elapsed_ms, 0.0))
         return rows, len(self.flat_queries) - 1

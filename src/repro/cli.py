@@ -723,11 +723,205 @@ def run_fuzz_command(argv: list[str], out=None) -> int:
     return 0 if report.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve OQL queries over TCP: newline-delimited JSON requests "
+            "(plus a thin HTTP/1.1 POST endpoint on the same port), "
+            "sessions with prepared statements, admission control, and "
+            "per-tenant budgets (see repro.server)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=7683, help="TCP port (default: 7683)"
+    )
+    parser.add_argument(
+        "--db",
+        choices=sorted(DATABASES),
+        default="company",
+        help="demo database to serve (default: company)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="default execution backend for sessions (default: memory)",
+    )
+    parser.add_argument(
+        "--db-path",
+        default=None,
+        metavar="FILE",
+        help="with --backend sqlite: file-backed shredded store at FILE",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="query worker threads (default: 8)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: concurrent queries (default: --workers)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: queued queries beyond the in-flight limit "
+            "before typed rejection (default: 2x --max-inflight)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-query wall-clock budget for every session",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-query work-unit budget for every session",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-query memory budget for every session",
+    )
+    parser.add_argument(
+        "--tenant-max-queries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant serving budget: total queries",
+    )
+    parser.add_argument(
+        "--tenant-max-wall-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-tenant serving budget: total execution wall-clock ms",
+    )
+    parser.add_argument(
+        "--tenant-max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant serving budget: total rows returned",
+    )
+    parser.add_argument(
+        "--tenant-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant serving budget: total encoded result bytes",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics summary line every --metrics-interval seconds",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds between --metrics summary lines (default: 10)",
+    )
+    return parser
+
+
+def run_serve_command(argv: list[str], out=None) -> int:
+    """Run the ``repro serve`` subcommand; returns a process exit code."""
+    import asyncio
+
+    from repro.server import ReproServer, ServerConfig, TenantBudget
+
+    out = out if out is not None else sys.stdout
+    args = build_serve_parser().parse_args(argv)
+    db = DATABASES[args.db]()
+    options = OptimizerOptions(
+        timeout=args.timeout,
+        max_rows=args.max_rows,
+        max_bytes=args.max_bytes,
+        backend=args.backend,
+        db_path=args.db_path,
+    )
+    config = ServerConfig(
+        database=db,
+        options=options,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        tenant_budget=TenantBudget(
+            max_queries=args.tenant_max_queries,
+            max_wall_ms=args.tenant_max_wall_ms,
+            max_rows=args.tenant_max_rows,
+            max_bytes=args.tenant_max_bytes,
+        ),
+    )
+
+    async def serve() -> None:
+        server = ReproServer(config)
+        host, port = await server.start()
+        print(
+            f"repro serve: database '{args.db}' on {host}:{port} "
+            f"(workers={config.workers}, max_inflight={config.max_inflight}, "
+            f"queue_depth={config.queue_depth}, backend={args.backend})",
+            file=out,
+            flush=True,
+        )
+
+        async def print_metrics() -> None:
+            while True:
+                await asyncio.sleep(args.metrics_interval)
+                print(server.metrics.summary_line(), file=out, flush=True)
+
+        metrics_task = (
+            asyncio.ensure_future(print_metrics()) if args.metrics else None
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if metrics_task is not None:
+                metrics_task.cancel()
+            await server.close()
+            if args.metrics:
+                print(server.metrics.summary_line(), file=out, flush=True)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", file=out, flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "fuzz":
         return run_fuzz_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.query is None:
         repl(args.db)

@@ -165,6 +165,16 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
 
+    def stats(self) -> tuple[int, int, int]:
+        """A consistent ``(hits, misses, entries)`` snapshot.
+
+        Reading the counters as separate attribute accesses can interleave
+        with a concurrent lookup and observe a torn pair; serving-layer
+        metrics read through here instead.
+        """
+        with self._lock:
+            return self.hits, self.misses, len(self._entries)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -512,10 +522,20 @@ class QueryPipeline:
         annotated with the source text; anything else (an internal bug)
         is wrapped in :class:`~repro.errors.PlanningError`.
         """
+        return self.compile_oql_cached(source)[0]
+
+    def compile_oql_cached(self, source: str) -> tuple[CompiledQuery, bool]:
+        """:meth:`compile_oql` plus whether *this* call hit the plan cache.
+
+        The flag comes from the lookup itself, not from reading the shared
+        hit counter before and after — that read-modify-write is racy under
+        concurrent sessions (another session's hit in the window makes this
+        execution claim a cached plan it recompiled, and vice versa).
+        """
         key = self.cache_key(source)
         cached = self.plan_cache.lookup(key)
         if cached is not None:
-            return cached
+            return cached, True
         try:
             compiled = self._compile_source(source)
         except QueryError as exc:
@@ -525,7 +545,7 @@ class QueryPipeline:
                 f"unexpected {type(exc).__name__}: {exc}", source=source
             ) from exc
         self.plan_cache.store(key, compiled)
-        return compiled
+        return compiled, False
 
     def compile_term(self, term: Term, source: str | None = None) -> CompiledQuery:
         """Compile a calculus term (entering the pipeline after translate)."""
@@ -692,9 +712,7 @@ class QueryPipeline:
         """
         if self.database is None:
             raise ValueError("pipeline has no database to run against")
-        hits_before = self.plan_cache.hits
-        compiled = self.compile_oql(source)
-        from_cache = self.plan_cache.hits > hits_before
+        compiled, from_cache = self.compile_oql_cached(source)
         try:
             values = compiled._merged_params(params)
             governor = compiled.make_governor(cancel_token)
@@ -753,7 +771,6 @@ class QueryPipeline:
         if governor is not None:
             stats.governor_ticks = governor.ticks
             stats.governor_peak_bytes = governor.peak_bytes
-        stats.cache_hits = self.plan_cache.hits
-        stats.cache_misses = self.plan_cache.misses
+        stats.cache_hits, stats.cache_misses, _ = self.plan_cache.stats()
         stats.from_cache = from_cache
         return stats

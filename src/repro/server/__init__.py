@@ -1,0 +1,60 @@
+"""The serving layer: repro as a multi-user database server.
+
+Everything needed for multi-user operation already exists in-process —
+reentrant compiled plans, a locked plan cache, cooperative cancellation
+tokens, governor budgets.  This package exposes it over the network:
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire protocol
+  (one request/response object per line) and the typed error codes every
+  failure maps to;
+* :mod:`repro.server.session` — per-connection state: a database handle,
+  session-scoped options, named prepared statements, and the in-flight
+  query registry that cancellation and disconnect cleanup act on;
+* :mod:`repro.server.admission` — admission control (max in-flight
+  queries, bounded wait queue with typed rejection) and per-tenant
+  budgets layered on the governor;
+* :mod:`repro.server.metrics` — per-endpoint metrics aggregated from
+  :class:`~repro.engine.executor.ExecutionStats`: qps, p50/p95/p99
+  latency, plan-cache hit rate, governor trips;
+* :mod:`repro.server.server` — the asyncio front-end: NDJSON over TCP
+  plus a thin HTTP/1.1 POST endpoint on the same port, queries running
+  in a worker pool so the event loop never blocks;
+* :mod:`repro.server.client` — a small thread-safe blocking client used
+  by the tests and the load-generator benchmark.
+
+Start a server with ``repro serve`` (see ``repro serve --help``) or
+programmatically::
+
+    from repro.server import ReproServer, ServerConfig
+    server = ReproServer(ServerConfig(database=db))
+    await server.start()
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    ServerError,
+    TenantBudget,
+    TenantBudgetExhausted,
+)
+from repro.server.client import ServeClient
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import ProtocolError, error_payload
+from repro.server.server import ReproServer, ServerConfig, ServerThread
+from repro.server.session import Session
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
+    "ServerThread",
+    "Session",
+    "TenantBudget",
+    "TenantBudgetExhausted",
+    "error_payload",
+]

@@ -1,0 +1,224 @@
+"""Admission control and per-tenant budgets, layered on the governor.
+
+The governor (:mod:`repro.engine.governor`) bounds *one* query.  A server
+needs two more layers above it:
+
+* **admission control** — at most ``max_inflight`` queries execute at
+  once; up to ``queue_depth`` more wait in FIFO order; anything beyond
+  that is rejected immediately with a typed ``ADMISSION_REJECTED`` error
+  (shedding load at the door is what keeps tail latency bounded when
+  demand exceeds capacity);
+* **per-tenant budgets** — each tenant (named in the ``hello`` op;
+  sessions that never say hello share the ``"default"`` tenant) gets a
+  serving budget across *all* its queries: total wall-clock milliseconds,
+  total rows returned, total encoded bytes.  A tenant that spends its
+  budget gets ``TENANT_BUDGET_EXHAUSTED`` until the server restarts (or a
+  new budget is configured) — per-query governor limits still apply on
+  top, bounding each individual query.
+
+Both layers live on the event loop (acquire/release and budget charging
+happen in loop callbacks, never in worker threads), so the controller
+needs no locks of its own: asyncio's single-threaded scheduling is the
+synchronization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ServerError",
+    "TenantAccount",
+    "TenantBudget",
+    "TenantBudgetExhausted",
+]
+
+
+class ServerError(Exception):
+    """A serving-layer failure with a typed protocol error code.
+
+    Engine failures are :class:`~repro.errors.QueryError`; these are the
+    errors that happen *around* the engine — saturation, exhausted serving
+    budgets — and they carry their protocol code directly.
+    """
+
+    code = "INTERNAL_ERROR"
+
+
+class AdmissionRejected(ServerError):
+    """The server is saturated: every execution slot is busy and the wait
+    queue is full.  Clients should back off and retry."""
+
+    code = "ADMISSION_REJECTED"
+
+
+class TenantBudgetExhausted(ServerError):
+    """The session's tenant has spent its serving budget."""
+
+    code = "TENANT_BUDGET_EXHAUSTED"
+
+
+class AdmissionController:
+    """A bounded execution gate: ``max_inflight`` slots, FIFO overflow
+    queue of at most ``queue_depth`` waiters, typed rejection beyond that.
+
+    Usage (event loop only)::
+
+        await controller.acquire()   # may raise AdmissionRejected
+        try:
+            ... run the query in the worker pool ...
+        finally:
+            controller.release()
+    """
+
+    def __init__(self, max_inflight: int = 8, queue_depth: int = 16):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.inflight = 0
+        #: Lifetime counters, surfaced in the metrics snapshot.
+        self.admitted = 0
+        self.queued_total = 0
+        self.rejected = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    @property
+    def queued(self) -> int:
+        """How many acquirers are currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        """Take an execution slot, waiting in FIFO order when saturated.
+
+        Raises :class:`AdmissionRejected` immediately when the wait queue
+        is full — the caller never blocks on a rejection.
+        """
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            self.admitted += 1
+            return
+        if len(self._waiters) >= self.queue_depth:
+            self.rejected += 1
+            raise AdmissionRejected(
+                f"server saturated: {self.inflight} queries in flight "
+                f"(max_inflight={self.max_inflight}) and "
+                f"{len(self._waiters)} queued (queue_depth={self.queue_depth})"
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.queued_total += 1
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            # The request was abandoned (client disconnect) while queued.
+            # If the slot was already handed over, pass it on.
+            if waiter.cancelled():
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            elif waiter.done():
+                self._handoff()
+            raise
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Return a slot, waking the oldest waiter if any."""
+        self._handoff()
+
+    def _handoff(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                # The slot transfers directly: inflight stays constant.
+                waiter.set_result(None)
+                return
+        self.inflight -= 1
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "queued": self.queued,
+            "admitted": self.admitted,
+            "queued_total": self.queued_total,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """The serving budget one tenant may spend, ``None`` = unlimited."""
+
+    max_queries: int | None = None
+    max_wall_ms: float | None = None
+    max_rows: int | None = None
+    max_bytes: int | None = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_queries is None
+            and self.max_wall_ms is None
+            and self.max_rows is None
+            and self.max_bytes is None
+        )
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's running spend against its budget."""
+
+    tenant: str
+    budget: TenantBudget = field(default_factory=TenantBudget)
+    queries: int = 0
+    wall_ms: float = 0.0
+    rows: int = 0
+    bytes: int = 0
+
+    def admit(self) -> None:
+        """Check the budget before running another query for this tenant."""
+        budget = self.budget
+        if budget.unlimited:
+            return
+        exhausted: str | None = None
+        if budget.max_queries is not None and self.queries >= budget.max_queries:
+            exhausted = f"{self.queries} queries (max {budget.max_queries})"
+        elif budget.max_wall_ms is not None and self.wall_ms >= budget.max_wall_ms:
+            exhausted = (
+                f"{self.wall_ms:.0f} ms wall clock (max {budget.max_wall_ms:.0f})"
+            )
+        elif budget.max_rows is not None and self.rows >= budget.max_rows:
+            exhausted = f"{self.rows} rows (max {budget.max_rows})"
+        elif budget.max_bytes is not None and self.bytes >= budget.max_bytes:
+            exhausted = f"{self.bytes} bytes (max {budget.max_bytes})"
+        if exhausted is not None:
+            raise TenantBudgetExhausted(
+                f"tenant {self.tenant!r} exhausted its serving budget: "
+                f"{exhausted}"
+            )
+
+    def charge(self, wall_ms: float, rows: int, nbytes: int) -> None:
+        """Record one finished query's spend (failed queries still spend
+        the wall clock they consumed)."""
+        self.queries += 1
+        self.wall_ms += wall_ms
+        self.rows += rows
+        self.bytes += nbytes
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "wall_ms": round(self.wall_ms, 3),
+            "rows": self.rows,
+            "bytes": self.bytes,
+        }

@@ -1,0 +1,200 @@
+"""Per-endpoint serving metrics: qps, latency percentiles, cache hit rate.
+
+One :class:`ServerMetrics` per server aggregates every finished request
+into per-endpoint buckets (``query``, ``execute``, ``prepare``, ``http``,
+...), each keeping totals plus a bounded latency reservoir for the
+p50/p95/p99 tail.  Governor trips are counted by error code, so a
+``stats`` snapshot shows at a glance whether the server is shedding load
+(admission rejections), tripping budgets, or serving from the plan cache.
+
+Recording happens from event-loop callbacks *and* is read from arbitrary
+threads (the ``stats`` op runs on the loop; tests and the benchmark read
+snapshots from other threads), so the whole structure is guarded by one
+lock — the per-request cost is a few counter bumps, far below the cost of
+the query that preceded them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["EndpointMetrics", "LatencyReservoir", "ServerMetrics"]
+
+#: Governor/serving error codes counted individually in snapshots.
+_TRIP_CODES = (
+    "QUERY_TIMEOUT",
+    "BUDGET_EXCEEDED",
+    "QUERY_CANCELLED",
+    "ADMISSION_REJECTED",
+    "TENANT_BUDGET_EXHAUSTED",
+)
+
+
+class LatencyReservoir:
+    """A bounded sliding window of latencies with exact percentiles.
+
+    Keeps the most recent ``capacity`` samples in a ring buffer;
+    percentiles are computed over the window by sorting on demand (a
+    snapshot is rare next to a request).  The window makes percentiles
+    reflect *recent* behavior rather than the whole process lifetime.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._ring: list[float] = []
+        self._next = 0
+
+    def add(self, latency_ms: float) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(latency_ms)
+        else:
+            self._ring[self._next] = latency_ms
+            self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def percentiles(self, *points: float) -> list[float]:
+        """Exact percentiles (nearest-rank) over the current window."""
+        if not self._ring:
+            return [0.0 for _ in points]
+        ordered = sorted(self._ring)
+        last = len(ordered) - 1
+        return [
+            ordered[min(last, int(round(p / 100.0 * last)))] for p in points
+        ]
+
+
+class EndpointMetrics:
+    """Counters for one endpoint (a protocol op, or ``http``)."""
+
+    def __init__(self, name: str, reservoir_capacity: int = 4096):
+        self.name = name
+        self.requests = 0
+        self.errors = 0
+        self.rows = 0
+        self.bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.total_ms = 0.0
+        self.trips: dict[str, int] = {}
+        self.latency = LatencyReservoir(reservoir_capacity)
+
+    def snapshot(self, elapsed_s: float) -> dict[str, Any]:
+        p50, p95, p99 = self.latency.percentiles(50, 95, 99)
+        executions = self.cache_hits + self.cache_misses
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "rows": self.rows,
+            "bytes": self.bytes,
+            "qps": round(self.requests / elapsed_s, 3) if elapsed_s > 0 else 0.0,
+            "mean_ms": (
+                round(self.total_ms / self.requests, 3) if self.requests else 0.0
+            ),
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "cache_hit_rate": (
+                round(self.cache_hits / executions, 4) if executions else 0.0
+            ),
+            "governor_trips": dict(sorted(self.trips.items())),
+        }
+
+
+class ServerMetrics:
+    """Thread-safe aggregation of every finished request, per endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self._started = time.monotonic()
+
+    def record(
+        self,
+        endpoint: str,
+        elapsed_ms: float,
+        *,
+        ok: bool = True,
+        error_code: str | None = None,
+        rows: int = 0,
+        nbytes: int = 0,
+        from_cache: bool | None = None,
+    ) -> None:
+        """Fold one finished request into the endpoint's counters.
+
+        *from_cache* is three-valued: ``True``/``False`` for requests that
+        executed a query (feeding the cache hit rate), ``None`` for ops
+        that never touch the plan cache (``stats``, ``cancel``, ...).
+        """
+        with self._lock:
+            endpoint_metrics = self._endpoints.get(endpoint)
+            if endpoint_metrics is None:
+                endpoint_metrics = EndpointMetrics(endpoint)
+                self._endpoints[endpoint] = endpoint_metrics
+            endpoint_metrics.requests += 1
+            endpoint_metrics.total_ms += elapsed_ms
+            endpoint_metrics.latency.add(elapsed_ms)
+            endpoint_metrics.rows += rows
+            endpoint_metrics.bytes += nbytes
+            if not ok:
+                endpoint_metrics.errors += 1
+            if error_code in _TRIP_CODES:
+                endpoint_metrics.trips[error_code] = (
+                    endpoint_metrics.trips.get(error_code, 0) + 1
+                )
+            if from_cache is True:
+                endpoint_metrics.cache_hits += 1
+            elif from_cache is False:
+                endpoint_metrics.cache_misses += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able view: uptime, per-endpoint stats, and totals."""
+        with self._lock:
+            elapsed_s = max(time.monotonic() - self._started, 1e-9)
+            endpoints = {
+                name: endpoint.snapshot(elapsed_s)
+                for name, endpoint in sorted(self._endpoints.items())
+            }
+        totals = {
+            "requests": sum(e["requests"] for e in endpoints.values()),
+            "errors": sum(e["errors"] for e in endpoints.values()),
+            "rows": sum(e["rows"] for e in endpoints.values()),
+            "governor_trips": {},
+        }
+        trip_totals: dict[str, int] = {}
+        for endpoint in endpoints.values():
+            for code, count in endpoint["governor_trips"].items():
+                trip_totals[code] = trip_totals.get(code, 0) + count
+        totals["governor_trips"] = dict(sorted(trip_totals.items()))
+        return {
+            "uptime_s": round(elapsed_s, 3),
+            "endpoints": endpoints,
+            "totals": totals,
+        }
+
+    def summary_line(self) -> str:
+        """A one-line operator-facing rendering (``repro serve --metrics``)."""
+        snap = self.snapshot()
+        totals = snap["totals"]
+        query = snap["endpoints"].get("query")
+        parts = [
+            f"uptime={snap['uptime_s']:.0f}s",
+            f"requests={totals['requests']}",
+            f"errors={totals['errors']}",
+        ]
+        if query is not None:
+            parts.append(f"qps={query['qps']}")
+            parts.append(
+                f"latency p50/p95/p99="
+                f"{query['p50_ms']}/{query['p95_ms']}/{query['p99_ms']}ms"
+            )
+            parts.append(f"cache_hit_rate={query['cache_hit_rate']}")
+        trips = totals["governor_trips"]
+        if trips:
+            parts.append(
+                "trips=" + ",".join(f"{k}:{v}" for k, v in trips.items())
+            )
+        return "metrics: " + " ".join(parts)

@@ -1,0 +1,484 @@
+"""End-to-end tests for the serving layer (repro.server).
+
+Every test drives a real server — :class:`ServerThread` running the
+asyncio front-end on its own event loop — through real sockets, with the
+blocking :class:`ServeClient` on the test thread(s).  Results are
+cross-checked value-for-value against in-process execution of the same
+query: the server must never change an answer, only transport it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from corpus import CORPUS
+from repro.core.optimizer import Optimizer, OptimizerOptions
+from repro.server import ServeClient, ServerConfig, ServerThread, TenantBudget
+
+#: A query slow enough (~800k join pairs on the test database) that a
+#: cancel or a competing request reliably lands while it is in flight,
+#: but cheap to answer (a single count).
+SLOW_QUERY = (
+    "count( select struct( a: e1.name, b: e2.name, c: e3.name, d: e4.name ) "
+    "from e1 in Employees, e2 in Employees, e3 in Employees, "
+    "e4 in Employees )"
+)
+
+
+@pytest.fixture(scope="module")
+def server(company_db):
+    """One shared server over the company database for the happy paths."""
+    with ServerThread(ServerConfig(database=company_db)) as (host, port):
+        yield host, port, company_db
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# protocol round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_hello(self, server):
+        host, port, db = server
+        with ServeClient(host, port) as client:
+            reply = client.hello()
+            assert reply.ok
+            assert reply["tenant"] == "default"
+            assert set(reply["extents"]) == set(db.extent_names())
+            assert isinstance(reply["session"], int)
+            assert "options" in reply
+
+    def test_query_matches_in_process(self, server):
+        host, port, db = server
+        reference = Optimizer(db).run_oql(
+            "select distinct e.name from e in Employees where e.salary > 50000"
+        )
+        with ServeClient(host, port) as client:
+            reply = client.query(
+                "select distinct e.name from e in Employees "
+                "where e.salary > 50000"
+            )
+            assert reply.ok
+            assert reply.value() == reference
+            assert reply["rows"] >= 1
+            assert reply["elapsed_ms"] >= 0
+
+    def test_prepare_execute_params_roundtrip(self, server):
+        host, port, db = server
+        source = (
+            "select distinct e.name from e in Employees "
+            "where e.salary > :floor"
+        )
+        compiled = Optimizer(db).compile_oql(source)
+        with ServeClient(host, port) as client:
+            prep = client.prepare("above", source)
+            assert prep.ok
+            assert prep["params"] == ["floor"]
+            for floor in (0, 50000, 10**9):
+                reply = client.execute("above", params={"floor": floor})
+                assert reply.ok
+                assert reply.value() == compiled.execute(db, floor=floor)
+
+    def test_prepared_statement_is_session_scoped(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as one, ServeClient(host, port) as two:
+            assert one.prepare("mine", "count(Employees)").ok
+            assert one.execute("mine").ok
+            reply = two.execute("mine")
+            assert not reply.ok
+            assert reply.error_code == "UNKNOWN_STATEMENT"
+
+    def test_out_of_order_responses(self, server):
+        """A fast query sent after a slow one answers first; the client
+        matches responses by id, not arrival order."""
+        host, port, db = server
+        reference = Optimizer(db).run_oql("count(Employees)")
+        with ServeClient(host, port) as client:
+            slow_id = client.send("query", q=SLOW_QUERY)
+            fast_id = client.send("query", q="count(Employees)")
+            fast = client.wait(fast_id)
+            assert fast.ok and fast.value() == reference
+            slow = client.wait(slow_id)
+            assert slow.ok and slow["rows"] == 1
+
+    def test_session_options_sqlite_backend(self, server):
+        host, port, db = server
+        queries = [q for q in CORPUS if q.family == "company"][:6]
+        references = [Optimizer(db).run_oql(q.oql) for q in queries]
+        with ServeClient(host, port) as client:
+            reply = client.set_options(backend="sqlite")
+            assert reply.ok and reply["applied"] == {"backend": "sqlite"}
+            for query, reference in zip(queries, references):
+                got = client.query(query.oql)
+                assert got.ok, (query.name, got.get("error"))
+                assert got.value() == reference, query.name
+
+    def test_set_rejects_unknown_option(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            reply = client.set_options(unnest=False)
+            assert not reply.ok
+            assert reply.error_code == "PROTOCOL_ERROR"
+
+
+# ---------------------------------------------------------------------------
+# typed errors
+# ---------------------------------------------------------------------------
+
+
+class TestTypedErrors:
+    def test_planning_error(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            reply = client.query("select from where")
+            assert not reply.ok
+            assert reply.error_code == "PLANNING_ERROR"
+            assert reply["error"]["message"]
+
+    def test_unknown_operation(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            reply = client.call("frobnicate")
+            assert reply.error_code == "UNKNOWN_OPERATION"
+
+    def test_malformed_json_line(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            client.send_raw(b"this is not json\n")
+            reply = client.wait(None)
+            assert reply.error_code == "PROTOCOL_ERROR"
+
+    def test_query_timeout_is_typed(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            assert client.set_options(timeout=0.05).ok
+            reply = client.query(SLOW_QUERY)
+            assert not reply.ok
+            assert reply.error_code == "QUERY_TIMEOUT"
+
+    def test_max_rows_budget_is_typed(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            assert client.set_options(max_rows=10).ok
+            reply = client.query("select e from e in Employees")
+            assert not reply.ok
+            assert reply.error_code == "BUDGET_EXCEEDED"
+
+
+# ---------------------------------------------------------------------------
+# admission control and tenant budgets
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_rejection_shape_when_saturated(self, company_db):
+        config = ServerConfig(
+            database=company_db, workers=1, max_inflight=1, queue_depth=0
+        )
+        with ServerThread(config) as (host, port):
+            with ServeClient(host, port) as busy, ServeClient(host, port) as rej:
+                slow_id = busy.send("query", q=SLOW_QUERY)
+                # Wait until the slow query holds the only slot.
+                assert wait_until(
+                    lambda: rej.stats()["stats"]["admission"]["inflight"] >= 1
+                )
+                reply = rej.query("count(Employees)")
+                assert not reply.ok
+                assert reply.error_code == "ADMISSION_REJECTED"
+                assert "queue" in reply["error"]["message"]
+                busy.cancel(slow_id)
+                done = busy.wait(slow_id)
+                assert done.error_code in (None, "QUERY_CANCELLED")
+
+    def test_queueing_admits_after_release(self, company_db):
+        config = ServerConfig(
+            database=company_db, workers=2, max_inflight=1, queue_depth=4
+        )
+        with ServerThread(config) as (host, port):
+            with ServeClient(host, port) as client:
+                first = client.send("query", q="count(Employees)")
+                second = client.send("query", q="count(Departments)")
+                assert client.wait(first).ok
+                assert client.wait(second).ok
+
+    def test_tenant_budget_exhaustion(self, company_db):
+        config = ServerConfig(
+            database=company_db,
+            tenant_budget=TenantBudget(max_queries=2),
+        )
+        with ServerThread(config) as (host, port):
+            with ServeClient(host, port) as client:
+                assert client.query("count(Employees)").ok
+                assert client.query("count(Departments)").ok
+                reply = client.query("count(Employees)")
+                assert not reply.ok
+                assert reply.error_code == "TENANT_BUDGET_EXHAUSTED"
+
+    def test_tenants_are_isolated(self, company_db):
+        config = ServerConfig(
+            database=company_db,
+            tenant_budget=TenantBudget(max_queries=1),
+        )
+        with ServerThread(config) as (host, port):
+            with ServeClient(host, port) as a, ServeClient(host, port) as b:
+                assert a.hello(tenant="alpha").ok
+                assert b.hello(tenant="beta").ok
+                assert a.query("count(Employees)").ok
+                assert a.query("count(Employees)").error_code == (
+                    "TENANT_BUDGET_EXHAUSTED"
+                )
+                # beta has its own budget, unaffected by alpha's exhaustion.
+                assert b.query("count(Employees)").ok
+
+
+# ---------------------------------------------------------------------------
+# cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestCancellation:
+    def _cancel_when_inflight(self, client, target):
+        """Retry ``cancel`` until the request has actually registered."""
+        assert wait_until(
+            lambda: client.call("cancel", target=target)["cancelled"]
+        ), "query never became cancellable"
+
+    def test_cancel_inflight_query(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            qid = client.send("query", q=SLOW_QUERY)
+            self._cancel_when_inflight(client, qid)
+            reply = client.wait(qid)
+            assert not reply.ok
+            assert reply.error_code == "QUERY_CANCELLED"
+
+    def test_cancel_unknown_request_is_a_noop(self, server):
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            reply = client.cancel(99999)
+            assert reply.ok
+            assert reply["cancelled"] is False
+
+    def test_cancellation_is_session_isolated(self, server):
+        """Cancelling session A's query must not disturb session B's —
+        tokens are per-request, not per-database or per-server."""
+        host, port, db = server
+        reference = Optimizer(db).run_oql("count(Employees)")
+        with ServeClient(host, port) as a, ServeClient(host, port) as b:
+            results = []
+
+            def b_runs_queries():
+                for _ in range(5):
+                    results.append(b.query("count(Employees)"))
+
+            slow_id = a.send("query", q=SLOW_QUERY)
+            worker = threading.Thread(target=b_runs_queries)
+            worker.start()
+            self._cancel_when_inflight(a, slow_id)
+            cancelled = a.wait(slow_id)
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            assert cancelled.error_code == "QUERY_CANCELLED"
+            assert len(results) == 5
+            for reply in results:
+                assert reply.ok, reply.get("error")
+                assert reply.value() == reference
+
+    def test_disconnect_cancels_inflight_queries(self, server):
+        """Dropping the socket mid-query trips the query's token and the
+        session is reaped; other sessions keep working."""
+        host, port, db = server
+        watcher = ServeClient(host, port)
+        try:
+            before = watcher.stats()["stats"]["server"]["sessions"]
+            doomed = ServeClient(host, port)
+            doomed.send("query", q=SLOW_QUERY)
+            assert wait_until(
+                lambda: watcher.stats()["stats"]["admission"]["inflight"] >= 1
+            )
+            doomed.close(polite=False)
+            assert wait_until(
+                lambda: watcher.stats()["stats"]["server"]["sessions"]
+                <= before
+            ), "disconnected session was never cleaned up"
+            assert wait_until(
+                lambda: watcher.stats()["stats"]["admission"]["inflight"] == 0
+            ), "in-flight query survived its connection"
+            endpoints = watcher.stats()["stats"]["metrics"]["endpoints"]
+            assert "disconnect_cancel" in endpoints
+            # The server still answers.
+            reference = Optimizer(db).run_oql("count(Employees)")
+            assert watcher.query("count(Employees)").value() == reference
+        finally:
+            watcher.close(polite=False)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_query_metrics_counters(self, company_db):
+        with ServerThread(ServerConfig(database=company_db)) as (host, port):
+            with ServeClient(host, port) as client:
+                for _ in range(4):
+                    assert client.query("count(Employees)").ok
+                assert not client.query("syntax error here").ok
+                stats = client.stats()["stats"]
+            queries = stats["metrics"]["endpoints"]["query"]
+            assert queries["requests"] == 5
+            assert queries["errors"] == 1
+            assert queries["p50_ms"] >= 0
+            assert queries["p99_ms"] >= queries["p50_ms"]
+            assert 0 < queries["cache_hit_rate"] <= 1.0
+            cache = stats["plan_cache"]
+            # One compile, three hits (the failed parse never caches).
+            assert cache["misses"] >= 1
+            assert cache["hits"] >= 3
+
+    def test_plan_cache_is_shared_across_sessions(self, company_db):
+        with ServerThread(ServerConfig(database=company_db)) as (host, port):
+            with ServeClient(host, port) as one:
+                assert one.query("count(Departments)").ok
+            with ServeClient(host, port) as two:
+                assert two.query("count(Departments)").ok
+                cache = two.stats()["stats"]["plan_cache"]
+                assert cache["hits"] >= 1, (
+                    "second session should hit the first session's plan"
+                )
+
+
+# ---------------------------------------------------------------------------
+# the HTTP endpoint
+# ---------------------------------------------------------------------------
+
+
+def _http(host, port, path, body=None, method=None):
+    url = f"http://{host}:{port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method or ("POST" if data else "GET"),
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttp:
+    def test_post_query(self, server):
+        host, port, db = server
+        reference = Optimizer(db).run_oql("count(Employees)")
+        status, body = _http(host, port, "/query", {"q": "count(Employees)"})
+        assert status == 200
+        assert body["ok"] is True
+        from repro.server.protocol import decode_result
+
+        assert decode_result(body["result"]) == reference
+
+    def test_post_bad_query_maps_to_400(self, server):
+        host, port, _ = server
+        status, body = _http(host, port, "/query", {"q": "select from"})
+        assert status == 400
+        assert body["error"]["code"] == "PLANNING_ERROR"
+
+    def test_get_stats(self, server):
+        host, port, _ = server
+        status, body = _http(host, port, "/stats")
+        assert status == 200
+        assert "metrics" in body["stats"]
+
+    def test_unknown_path_404(self, server):
+        host, port, _ = server
+        status, body = _http(host, port, "/nope", {"q": "count(Employees)"})
+        assert status == 404
+        assert body["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_body_without_query_400(self, server):
+        host, port, _ = server
+        status, body = _http(host, port, "/query", {"nope": 1})
+        assert status == 400
+        assert body["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_http_tenant_budget_maps_to_429(self, company_db):
+        config = ServerConfig(
+            database=company_db, tenant_budget=TenantBudget(max_queries=1)
+        )
+        with ServerThread(config) as (host, port):
+            status, _ = _http(
+                host, port, "/query", {"q": "count(Employees)", "tenant": "t"}
+            )
+            assert status == 200
+            status, body = _http(
+                host, port, "/query", {"q": "count(Employees)", "tenant": "t"}
+            )
+            assert status == 429
+            assert body["error"]["code"] == "TENANT_BUDGET_EXHAUSTED"
+
+
+# ---------------------------------------------------------------------------
+# concurrency: the corpus under 8 clients, cross-checked
+# ---------------------------------------------------------------------------
+
+
+FAMILIES = sorted({q.family for q in CORPUS})
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_concurrent_clients_agree_with_in_process(family, databases):
+    """Eight concurrent clients each run the family's full corpus slice;
+    every response must equal the in-process answer (ISSUE acceptance:
+    zero incorrect results under concurrency)."""
+    db = databases[family]
+    queries = [q for q in CORPUS if q.family == family]
+    references = {q.name: Optimizer(db).run_oql(q.oql) for q in queries}
+    failures: list[str] = []
+    with ServerThread(ServerConfig(database=db)) as (host, port):
+
+        def one_client(client_index: int) -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    for query in queries:
+                        reply = client.query(query.oql)
+                        if not reply.ok:
+                            failures.append(
+                                f"client {client_index} {query.name}: "
+                                f"{reply.get('error')}"
+                            )
+                        elif reply.value() != references[query.name]:
+                            failures.append(
+                                f"client {client_index} {query.name}: "
+                                "wrong result"
+                            )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                failures.append(f"client {client_index}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "client thread hung"
+    assert failures == []
