@@ -287,6 +287,7 @@ class ShreddedStore:
         self._tlocal = threading.local()
         self._connections: list[sqlite3.Connection] = []
         self._connections_lock = threading.Lock()
+        self._closed = False
         first_connection = self._open_connection()
         if db_path is None:
             self._shared_connection = first_connection
@@ -337,6 +338,13 @@ class ShreddedStore:
         :attr:`lock`); file-backed stores hand every thread its own,
         opened lazily against :attr:`db_path` with the same pragmas.
         """
+        if self._closed:
+            # Without this check a closed in-memory store would lazily
+            # open a brand-new empty ':memory:' database here and answer
+            # post-close queries with silently wrong (empty) results.
+            raise sqlite3.ProgrammingError(
+                "cannot use a closed ShreddedStore"
+            )
         shared = self._shared_connection
         if shared is not None:
             return shared
@@ -358,7 +366,11 @@ class ShreddedStore:
         return connection
 
     def close(self) -> None:
-        """Close every connection this store has opened (all threads)."""
+        """Close every connection this store has opened (all threads).
+        The store is unusable afterwards: further statements raise
+        :class:`sqlite3.ProgrammingError` instead of silently running
+        against a fresh empty database."""
+        self._closed = True
         with self._connections_lock:
             connections, self._connections = self._connections, []
         for connection in connections:

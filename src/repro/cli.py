@@ -883,8 +883,8 @@ def run_serve_command(argv: list[str], out=None) -> int:
         host, port = await server.start()
         print(
             f"repro serve: database '{args.db}' on {host}:{port} "
-            f"(workers={config.workers}, max_inflight={config.max_inflight}, "
-            f"queue_depth={config.queue_depth}, backend={args.backend})",
+            f"(workers={config.workers}, max_inflight={server.max_inflight}, "
+            f"queue_depth={server.queue_depth}, backend={args.backend})",
             file=out,
             flush=True,
         )

@@ -56,6 +56,7 @@ code                        meaning
 ``PROTOCOL_ERROR``          malformed request (bad JSON, missing fields)
 ``UNKNOWN_OPERATION``       unrecognized ``op``
 ``UNKNOWN_STATEMENT``       ``execute`` names a statement never prepared
+``DUPLICATE_REQUEST_ID``    a request id the session already has in flight
 ``INTERNAL_ERROR``          anything else (a server bug; never expected)
 ==========================  ====================================================
 """
@@ -180,6 +181,7 @@ _HTTP_STATUS = {
     "PROTOCOL_ERROR": 400,
     "UNKNOWN_OPERATION": 400,
     "UNKNOWN_STATEMENT": 400,
+    "DUPLICATE_REQUEST_ID": 400,
     "ADMISSION_REJECTED": 429,
     "TENANT_BUDGET_EXHAUSTED": 429,
     "QUERY_TIMEOUT": 504,

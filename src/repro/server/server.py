@@ -65,6 +65,11 @@ __all__ = ["ReproServer", "ServerConfig", "ServerThread"]
 
 _http_request_ids = itertools.count(1)
 
+#: Bounds on the HTTP header section — without them a client could
+#: stream header lines indefinitely and pin event-loop work.
+_MAX_HEADER_LINES = 100
+_MAX_HEADER_BYTES = 64 * 1024
+
 
 @dataclass
 class ServerConfig:
@@ -104,13 +109,22 @@ class ReproServer:
 
     def __init__(self, config: ServerConfig):
         self.config = config
-        if config.max_inflight is None:
-            config.max_inflight = max(1, config.workers)
-        if config.queue_depth is None:
-            config.queue_depth = 2 * config.max_inflight
+        # Derive the effective admission limits into instance attributes —
+        # writing them back into ``config`` would make a ServerConfig
+        # reused for a second server keep the first server's numbers.
+        self.max_inflight = (
+            config.max_inflight
+            if config.max_inflight is not None
+            else max(1, config.workers)
+        )
+        self.queue_depth = (
+            config.queue_depth
+            if config.queue_depth is not None
+            else 2 * self.max_inflight
+        )
         self.plan_cache = PlanCache(config.cache_size)
         self.admission = AdmissionController(
-            config.max_inflight, config.queue_depth
+            self.max_inflight, self.queue_depth
         )
         self.metrics = ServerMetrics()
         self.accounts: dict[str, TenantAccount] = {}
@@ -447,24 +461,29 @@ class ReproServer:
         """Admission + tenant budget + worker-pool execution of one query."""
         account = account or session.account or self._account(session.tenant)
         account.admit()  # typed TENANT_BUDGET_EXHAUSTED before any work
-        await self.admission.acquire()
+        # Register before admission: a duplicate id is rejected up front
+        # (DUPLICATE_REQUEST_ID), and a query waiting in the admission
+        # queue is already cancellable / covered by disconnect cleanup.
         token = session.register(request_id)
         loop = asyncio.get_running_loop()
-        start = time.perf_counter()
-        payload: dict[str, Any] | None = None
         try:
-            payload = await loop.run_in_executor(self._pool, run, token)
-            return payload
+            await self.admission.acquire()
+            start = time.perf_counter()
+            payload: dict[str, Any] | None = None
+            try:
+                payload = await loop.run_in_executor(self._pool, run, token)
+                return payload
+            finally:
+                self.admission.release()
+                wall_ms = (time.perf_counter() - start) * 1000.0
+                # Failed queries still spend the wall clock they consumed.
+                account.charge(
+                    wall_ms,
+                    payload.get("rows", 0) if payload else 0,
+                    payload.get("bytes", 0) if payload else 0,
+                )
         finally:
             session.settle(request_id)
-            self.admission.release()
-            wall_ms = (time.perf_counter() - start) * 1000.0
-            # Failed queries still spend the wall clock they consumed.
-            account.charge(
-                wall_ms,
-                payload.get("rows", 0) if payload else 0,
-                payload.get("bytes", 0) if payload else 0,
-            )
 
     def _execute_source(
         self,
@@ -562,15 +581,25 @@ class ReproServer:
         except ValueError:
             return 400, _http_error("PROTOCOL_ERROR", "malformed request line")
         headers: dict[str, str] = {}
-        while True:
+        header_bytes = 0
+        for _ in range(_MAX_HEADER_LINES):
             try:
                 line = await reader.readline()
             except (ValueError, ConnectionError):
                 return 400, _http_error("PROTOCOL_ERROR", "bad headers")
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                return 400, _http_error(
+                    "PROTOCOL_ERROR", "header section too large"
+                )
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        else:
+            # A client streaming header lines forever must not pin the
+            # connection; each line is bounded, so bound the count too.
+            return 400, _http_error("PROTOCOL_ERROR", "too many headers")
         if method == "GET" and path.rstrip("/") in ("", "/stats"):
             return 200, {"ok": True, "stats": self.stats_snapshot()}
         if method != "POST":

@@ -35,25 +35,32 @@ from repro.server.protocol import ProtocolError
 if TYPE_CHECKING:
     from repro.server.admission import TenantAccount
 
-__all__ = ["SESSION_OPTION_NAMES", "Session"]
+__all__ = ["MAX_SESSION_WORKERS", "SESSION_OPTION_NAMES", "Session"]
 
 _session_ids = itertools.count(1)
 
 #: The options a session may change with the ``set`` op.  Deliberately the
 #: serving-relevant subset: governor limits, the backend pair, and the
 #: parallel-execution switches.  Structural phase switches (unnest,
-#: simplify, ...) stay server-side.
+#: simplify, ...) stay server-side — and so does ``db_path``: it flows
+#: into ``sqlite3.connect()``, so a client that could set it would make
+#: the server create or open an arbitrary filesystem path.  The sqlite
+#: backend always uses the server-configured path (``--db-path``).
 SESSION_OPTION_NAMES = frozenset(
     {
         "timeout",
         "max_rows",
         "max_bytes",
         "backend",
-        "db_path",
         "parallel",
         "num_workers",
     }
 )
+
+#: Hard ceiling on client-requested ``num_workers`` — a session must not
+#: be able to make the server spawn an unbounded thread pool.  0 means
+#: "auto" (the engine picks a small host-appropriate count).
+MAX_SESSION_WORKERS = 8
 
 
 class Session:
@@ -107,6 +114,18 @@ class Session:
                 f"unknown backend {updates['backend']!r}; "
                 "expected 'memory' or 'sqlite'"
             )
+        if "num_workers" in updates:
+            workers = updates["num_workers"]
+            if (
+                isinstance(workers, bool)
+                or not isinstance(workers, int)
+                or not 0 <= workers <= MAX_SESSION_WORKERS
+            ):
+                raise ProtocolError(
+                    f"'num_workers' must be an integer in "
+                    f"[0, {MAX_SESSION_WORKERS}] (0 = auto), "
+                    f"got {workers!r}"
+                )
         try:
             self.pipeline.options = replace(self.pipeline.options, **updates)
         except TypeError as exc:  # pragma: no cover - names checked above
@@ -143,9 +162,21 @@ class Session:
     # -- in-flight queries ---------------------------------------------------
 
     def register(self, request_id: Any) -> CancelToken:
-        """A fresh per-request cancellation token, tracked until settled."""
+        """A fresh per-request cancellation token, tracked until settled.
+
+        A request id already in flight is rejected: silently overwriting
+        the first token would leave one of the two queries invisible to
+        ``cancel`` and disconnect cleanup (it would run to completion
+        holding a worker slot)."""
         token = CancelToken()
         with self._inflight_lock:
+            if request_id in self._inflight:
+                exc = ProtocolError(
+                    f"request id {request_id!r} is already in flight on "
+                    "this session; concurrent requests need distinct ids"
+                )
+                exc.code = "DUPLICATE_REQUEST_ID"
+                raise exc
             self._inflight[request_id] = token
         return token
 

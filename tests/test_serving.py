@@ -135,6 +135,56 @@ class TestRoundTrip:
             assert not reply.ok
             assert reply.error_code == "PROTOCOL_ERROR"
 
+    def test_set_rejects_db_path(self, server):
+        """db_path flows into sqlite3.connect(); a client that could set
+        it would make the server write an arbitrary filesystem path."""
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            reply = client.set_options(db_path="/tmp/evil.db")
+            assert not reply.ok
+            assert reply.error_code == "PROTOCOL_ERROR"
+            assert "db_path" in reply["error"]["message"]
+            assert "db_path" not in client.hello()["options"]
+
+    def test_set_bounds_num_workers(self, server):
+        """Client-requested worker counts are clamped server-side — a
+        session must not spawn an unbounded thread pool."""
+        host, port, _ = server
+        with ServeClient(host, port) as client:
+            for bad in (100000, -1, True, "8", 2.5):
+                reply = client.set_options(num_workers=bad)
+                assert not reply.ok, bad
+                assert reply.error_code == "PROTOCOL_ERROR", bad
+            ok = client.set_options(num_workers=2)
+            assert ok.ok and ok["applied"] == {"num_workers": 2}
+
+    def test_duplicate_inflight_request_id_rejected(self, server):
+        """A request reusing an id that is still in flight is rejected
+        (DUPLICATE_REQUEST_ID) instead of silently shadowing the first
+        query's cancellation token."""
+        host, port, db = server
+        with ServeClient(host, port) as client:
+            client.send_raw(
+                json.dumps({"id": "dup", "op": "query", "q": SLOW_QUERY})
+                .encode() + b"\n"
+            )
+            # Wait until the slow query is registered, then reuse its id.
+            assert wait_until(
+                lambda: client.stats()["stats"]["admission"]["inflight"] >= 1
+            )
+            client.send_raw(
+                json.dumps(
+                    {"id": "dup", "op": "query", "q": "count(Employees)"}
+                ).encode() + b"\n"
+            )
+            rejected = client.wait("dup")
+            assert not rejected.ok
+            assert rejected.error_code == "DUPLICATE_REQUEST_ID"
+            # The original query is still cancellable under its id.
+            assert client.cancel("dup")["cancelled"] is True
+            done = client.wait("dup")
+            assert done.error_code == "QUERY_CANCELLED"
+
 
 # ---------------------------------------------------------------------------
 # typed errors
@@ -215,6 +265,19 @@ class TestAdmission:
                 second = client.send("query", q="count(Departments)")
                 assert client.wait(first).ok
                 assert client.wait(second).ok
+
+    def test_server_config_is_not_mutated(self, company_db):
+        """Deriving the default admission limits must not write them back
+        into the caller's ServerConfig — a config reused for a second
+        server would silently keep the first server's numbers."""
+        config = ServerConfig(database=company_db, workers=4)
+        with ServerThread(config) as (host, port):
+            with ServeClient(host, port) as client:
+                admission = client.stats()["stats"]["admission"]
+                assert admission["max_inflight"] == 4
+                assert admission["queue_depth"] == 8
+        assert config.max_inflight is None
+        assert config.queue_depth is None
 
     def test_tenant_budget_exhaustion(self, company_db):
         config = ServerConfig(
@@ -419,6 +482,35 @@ class TestHttp:
         status, body = _http(host, port, "/query", {"nope": 1})
         assert status == 400
         assert body["error"]["code"] == "PROTOCOL_ERROR"
+
+    def test_header_flood_is_bounded(self, server):
+        """A client streaming header lines forever must be rejected
+        promptly (400 / connection close), not pin the connection.
+        Pre-fix, the server read header lines without limit and this
+        test timed out waiting for a response."""
+        import socket
+
+        host, port, _ = server
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"POST /query HTTP/1.1\r\n")
+            try:
+                for index in range(200):
+                    sock.sendall(f"X-Flood-{index}: y\r\n".encode())
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # the server already hung up on us — also a pass
+            # The server answers (or resets) after the 100-line cap; the
+            # reset can race the 400 bytes off the wire, so accept both.
+            response = b""
+            try:
+                while b"\r\n" not in response:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+            except ConnectionError:
+                pass
+            if response:
+                assert response.startswith(b"HTTP/1.1 400")
 
     def test_http_tenant_budget_maps_to_429(self, company_db):
         config = ServerConfig(

@@ -138,6 +138,27 @@ class TestShreddedStore:
         with pytest.raises(KeyError):
             store.extent("Nope")
 
+    @pytest.mark.parametrize("file_backed", [False, True])
+    def test_closed_store_raises_instead_of_reopening(
+        self, file_backed, tmp_path
+    ):
+        """Statements on a closed store must raise — before the fix, a
+        closed in-memory store lazily opened a brand-new empty ':memory:'
+        database and answered queries with silently wrong results."""
+        import sqlite3
+
+        db = DATABASES["company"]()
+        db_path = str(tmp_path / "shred.db") if file_backed else None
+        store = ShreddedStore(db, db_path=db_path)
+        with store.statement_guard() as connection:
+            connection.execute("SELECT 1").fetchone()
+        store.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            with store.statement_guard() as connection:
+                connection.execute("SELECT 1")
+        with pytest.raises(sqlite3.ProgrammingError):
+            store.connection
+
 
 # ---------------------------------------------------------------------------
 # Golden SQL: the generated flat queries are stable
